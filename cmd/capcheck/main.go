@@ -1,0 +1,58 @@
+// Command capcheck runs the Sect. 4 capability-detection suite and
+// prints the detected capability matrix (Table 1), plus the detail
+// behind each verdict.
+//
+// Usage:
+//
+//	capcheck [-service NAME|all] [-seed N] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		service = flag.String("service", "all", "service to check, or all")
+		seed    = flag.Int64("seed", 42, "random seed")
+		verbose = flag.Bool("verbose", false, "print per-test details")
+	)
+	flag.Parse()
+
+	var profiles []client.Profile
+	if *service == "all" {
+		profiles = client.Profiles()
+	} else {
+		p, ok := client.ProfileFor(*service)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown service %q\n", *service)
+			os.Exit(2)
+		}
+		profiles = []client.Profile{p}
+	}
+
+	caps := map[string]core.Capabilities{}
+	var order []string
+	for _, p := range profiles {
+		c := core.DetectCapabilities(p, *seed)
+		caps[p.Service] = c
+		order = append(order, p.Service)
+		if *verbose {
+			b := core.DetectBundling(p, *seed)
+			fmt.Printf("%s:\n", p.Name)
+			fmt.Printf("  chunking:          %s\n", c.Chunking)
+			fmt.Printf("  connections/file:  %.2f\n", b.ConnsPerFile)
+			fmt.Printf("  sequential acks:   %v\n", b.SequentialAcks)
+			fmt.Printf("  bundling:          %v\n", c.Bundling)
+			fmt.Printf("  compression:       %s\n", c.Compression)
+			fmt.Printf("  dedup:             %v (after delete/restore: %v)\n", c.Dedup, c.DedupAfterDelete)
+			fmt.Printf("  delta encoding:    %v\n", c.DeltaEncoding)
+		}
+	}
+	fmt.Print(core.Table1(caps, order))
+}

@@ -1,0 +1,352 @@
+// Command cloudbench runs the complete benchmarking campaign of
+// "Benchmarking Personal Cloud Storage" (IMC'13): capability checks,
+// performance benchmarks, idle-traffic measurement and architecture
+// discovery, for one service or all five.
+//
+// Usage:
+//
+//	cloudbench [-service NAME|all] [-experiment NAME|all] [-reps N] [-seed N]
+//
+// Experiments: table1, fig1, fig3, fig4, fig5, fig6, discover, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		service    = flag.String("service", "all", "service to benchmark (dropbox, skydrive, wuala, googledrive, clouddrive, all)")
+		experiment = flag.String("experiment", "all", "experiment to run (table1, fig1, fig3, fig4, fig5, fig6, discover, protocols, bundling, recovery, propagation, locations, whatif, all)")
+		reps       = flag.Int("reps", core.DefaultReps, "repetitions per benchmark (the paper uses 24)")
+		seed       = flag.Int64("seed", 42, "base random seed")
+		doPlot     = flag.Bool("plot", false, "render ASCII charts for figs 1, 3 and 6")
+	)
+	flag.Parse()
+
+	profiles, err := selectProfiles(*service)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	any := false
+	if run("table1") {
+		any = true
+		table1(profiles, *seed)
+	}
+	if run("fig1") {
+		any = true
+		fig1(profiles, *seed, *doPlot)
+	}
+	if run("fig3") {
+		any = true
+		fig3(*seed, *doPlot)
+	}
+	if run("fig4") {
+		any = true
+		fig4(profiles, *seed)
+	}
+	if run("fig5") {
+		any = true
+		fig5(profiles, *seed)
+	}
+	if run("fig6") {
+		any = true
+		fig6(profiles, *reps, *seed, *doPlot)
+	}
+	if run("discover") {
+		any = true
+		discover(profiles, *seed)
+	}
+	if run("protocols") {
+		any = true
+		protocols(profiles, *seed)
+	}
+	if run("bundling") {
+		any = true
+		bundling(profiles, *seed)
+	}
+	if run("recovery") {
+		any = true
+		recovery(*seed)
+	}
+	if run("propagation") {
+		any = true
+		propagation(profiles, *seed)
+	}
+	if run("locations") {
+		any = true
+		locations(*seed)
+	}
+	if run("whatif") {
+		any = true
+		whatif(*seed)
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func selectProfiles(service string) ([]client.Profile, error) {
+	if service == "all" {
+		return client.Profiles(), nil
+	}
+	p, ok := client.ProfileFor(service)
+	if !ok {
+		return nil, fmt.Errorf("unknown service %q (valid: %s, all)",
+			service, strings.Join(cloud.ServiceNames, ", "))
+	}
+	return []client.Profile{p}, nil
+}
+
+func table1(profiles []client.Profile, seed int64) {
+	fmt.Println("== Table 1: capabilities per service (detected from traffic) ==")
+	caps := map[string]core.Capabilities{}
+	var order []string
+	for _, p := range profiles {
+		caps[p.Service] = core.DetectCapabilities(p, seed)
+		order = append(order, p.Service)
+	}
+	fmt.Print(core.Table1(caps, order))
+	fmt.Println()
+}
+
+func fig1(profiles []client.Profile, seed int64, doPlot bool) {
+	fmt.Println("== Fig 1: background traffic while idle (16 min) ==")
+	var results []core.IdleResult
+	for _, p := range profiles {
+		results = append(results, core.RunIdle(p, seed))
+	}
+	fmt.Print(core.Fig1Report(results))
+	if doPlot {
+		var series []plot.Series
+		for _, r := range results {
+			s := plot.Series{Label: r.Service}
+			for _, pt := range sampleTimeline(r) {
+				s.X = append(s.X, pt.t/60)
+				s.Y = append(s.Y, pt.kb)
+			}
+			series = append(series, s)
+		}
+		fmt.Println()
+		fmt.Print(plot.Lines(series, plot.Options{
+			Title:  "Fig 1: cumulative control traffic while idle",
+			XLabel: "minutes", YLabel: "kB",
+		}))
+	}
+	fmt.Println("\ncumulative timeline (CSV: service,t_seconds,kbytes)")
+	for _, r := range results {
+		for _, pt := range sampleTimeline(r) {
+			fmt.Printf("%s,%.0f,%.1f\n", r.Service, pt.t, pt.kb)
+		}
+	}
+	fmt.Println()
+}
+
+type tlPoint struct {
+	t  float64
+	kb float64
+}
+
+// sampleTimeline thins a cumulative timeline to one point per minute
+// so the CSV stays plottable by eye.
+func sampleTimeline(r core.IdleResult) []tlPoint {
+	if len(r.Timeline) == 0 {
+		return nil
+	}
+	t0 := r.Timeline[0].Time
+	var out []tlPoint
+	nextMark := 0.0
+	for _, pt := range r.Timeline {
+		sec := pt.Time.Sub(t0).Seconds()
+		if sec >= nextMark {
+			out = append(out, tlPoint{t: sec, kb: float64(pt.Bytes) / 1000})
+			nextMark = sec + 60
+		}
+	}
+	return out
+}
+
+func fig3(seed int64, doPlot bool) {
+	fmt.Println("== Fig 3: cumulative TCP SYNs while uploading 100 x 10 kB ==")
+	batch := workload.Batch{Count: 100, Size: 10_000, Kind: workload.Binary}
+	var series []plot.Series
+	for _, svc := range []string{"clouddrive", "googledrive"} {
+		p, _ := client.ProfileFor(svc)
+		s := core.RunSYNCount(p, batch, seed)
+		fmt.Printf("%s: %d connections, upload completed in %s\n",
+			svc, len(s.Times), core.FormatDuration(s.Duration))
+		if doPlot {
+			ps := plot.Series{Label: svc}
+			for i, t := range s.Times {
+				ps.X = append(ps.X, t.Seconds())
+				ps.Y = append(ps.Y, float64(i+1))
+			}
+			series = append(series, ps)
+			continue
+		}
+		fmt.Print(core.SYNSeriesCSV(s))
+	}
+	if doPlot {
+		fmt.Println()
+		fmt.Print(plot.Lines(series, plot.Options{
+			Title: "Fig 3: cumulative TCP SYNs", XLabel: "seconds", YLabel: "SYNs",
+		}))
+	}
+	fmt.Println()
+}
+
+func fig4(profiles []client.Profile, seed int64) {
+	fmt.Println("== Fig 4: delta encoding tests (upload after modifying a file) ==")
+	for _, mod := range []core.ModKind{core.ModAppend, core.ModRandom} {
+		fmt.Printf("-- %s, +100 kB (CSV: series,file_bytes,upload_bytes)\n", mod)
+		for _, p := range profiles {
+			pts := core.Fig4DeltaSeries(p, mod, core.Fig4Sizes(mod), 100<<10, seed)
+			fmt.Print(core.VolumeSeriesCSV(p.Service+"-"+mod.String(), pts))
+		}
+	}
+	fmt.Println()
+}
+
+func fig5(profiles []client.Profile, seed int64) {
+	fmt.Println("== Fig 5: bytes uploaded during the compression test ==")
+	for _, kind := range []workload.Kind{workload.Text, workload.Binary, workload.FakeJPEG} {
+		fmt.Printf("-- %s files (CSV: series,file_bytes,upload_bytes)\n", kind)
+		for _, p := range profiles {
+			pts := core.Fig5CompressionSeries(p, kind, core.Fig5Sizes(), seed)
+			fmt.Print(core.VolumeSeriesCSV(p.Service+"-"+kind.String(), pts))
+		}
+	}
+	fmt.Println()
+}
+
+func fig6(profiles []client.Profile, reps int, seed int64, doPlot bool) {
+	fmt.Printf("== Fig 6: benchmarks, %d repetitions per workload ==\n", reps)
+	var results []core.Fig6Result
+	for _, p := range profiles {
+		results = append(results, core.Fig6ForService(p, reps, seed))
+	}
+	fmt.Print(core.Fig6Report(results))
+	if doPlot && len(results) > 0 {
+		var labels []string
+		for _, r := range results {
+			labels = append(labels, r.Service)
+		}
+		var groups []plot.BarGroup
+		for wi, w := range results[0].Workloads {
+			g := plot.BarGroup{Label: w.String()}
+			for _, r := range results {
+				g.Values = append(g.Values, r.Summaries[wi].MeanCompletion.Seconds())
+			}
+			groups = append(groups, g)
+		}
+		fmt.Println()
+		fmt.Print(plot.Bars(groups, labels, plot.Options{
+			Title: "Fig 6(b): completion time (s)", Width: 48, LogY: true,
+		}))
+	}
+	fmt.Println()
+}
+
+func discover(profiles []client.Profile, seed int64) {
+	fmt.Println("== Architecture discovery (Sect. 2.1 / 3.2, Fig. 2) ==")
+	for _, p := range profiles {
+		fmt.Print(core.DiscoveryReport(core.Discover(p, seed)))
+	}
+	fmt.Println()
+}
+
+func protocols(profiles []client.Profile, seed int64) {
+	fmt.Println("== Protocol behaviour (Sect. 3.1) ==")
+	fmt.Printf("%-14s%-12s%-8s%-14s%-14s%-12s%s\n",
+		"service", "poll", "conn/", "idle (b/s)", "login", "split", "plain HTTP")
+	fmt.Printf("%-14s%-12s%-8s%-14s%-14s%-12s%s\n",
+		"", "interval", "poll", "", "srv / kB", "ctl/sto", "")
+	for _, p := range profiles {
+		r := core.AnalyzeProtocols(p, seed)
+		fmt.Printf("%-14s%-12s%-8v%-14.0f%2d / %-8.0f%-12v%v\n",
+			r.Service, r.PollInterval, r.PollConnPerPoll, r.IdleRateBps,
+			r.LoginServers, float64(r.LoginBytes)/1000,
+			r.SplitControlStorage, r.PlainHTTPNames)
+	}
+	fmt.Println()
+}
+
+func bundling(profiles []client.Profile, seed int64) {
+	fmt.Println("== Bundling test (Sect. 4.2): 1 MB split into 1/10/100/1000 files ==")
+	for _, p := range profiles {
+		st := core.RunBundlingStudy(p, 1_000_000, seed)
+		fmt.Printf("%-14s", st.Service)
+		for i, r := range st.Results {
+			fmt.Printf("  %s: %6.1fs %4d conns %5.2fx |", st.Sets[i], r.Completion.Seconds(), r.Connections, r.Overhead)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func recovery(seed int64) {
+	fmt.Println("== Upload recovery under failures (Sect. 4.1 motivation) ==")
+	fmt.Println("16 MB upload, storage path fails every 4 s:")
+	fmt.Printf("%-14s%-12s%-10s%-12s%s\n", "chunking", "completed", "retries", "waste", "time")
+	for _, size := range []int64{0, 8 << 20, 4 << 20, 1 << 20} {
+		r := core.RunRecovery(size, 16<<20, 4*time.Second, seed)
+		fmt.Printf("%-14s%-12v%-10d%-12.2f%s\n",
+			r.ChunkLabel, r.Completed, r.Retries, r.WasteRatio,
+			core.FormatDuration(r.Completion))
+	}
+	fmt.Println()
+}
+
+func propagation(profiles []client.Profile, seed int64) {
+	fmt.Println("== Two-device propagation (upload -> notify -> download) ==")
+	batch := workload.Batch{Count: 1, Size: 1 << 20, Kind: workload.Binary}
+	fmt.Printf("%-14s%10s%12s%12s%12s\n", "service", "upload", "notify", "download", "total")
+	for _, p := range profiles {
+		r := core.RunPropagation(p, batch, seed)
+		fmt.Printf("%-14s%9.1fs%11.1fs%11.1fs%11.1fs\n",
+			r.Service, r.Upload.Seconds(), r.Notify.Seconds(),
+			r.Download.Seconds(), r.Total.Seconds())
+	}
+	fmt.Println()
+}
+
+func locations(seed int64) {
+	fmt.Println("== Location study: 1x1MB completion time per vantage ==")
+	var vantages []core.Vantage
+	for _, name := range []string{"twente", "SEA", "IAD", "SIN", "SYD"} {
+		v, ok := core.VantageByName(name)
+		if !ok {
+			continue
+		}
+		vantages = append(vantages, v)
+	}
+	batch := workload.Batch{Count: 1, Size: 1 << 20, Kind: workload.Binary}
+	cells := core.LocationStudy(batch, vantages, seed)
+	fmt.Print(core.LocationReport(cells, vantages))
+	fmt.Println()
+}
+
+func whatif(seed int64) {
+	fmt.Println("== What-if studies (the paper's counterfactuals) ==")
+	for _, r := range core.WhatIfStudies(seed) {
+		fmt.Printf("%-32s %s: %.2f -> %s: %.2f (%s)\n",
+			r.Name, r.BaselineLabel, r.Baseline, r.VariantLabel, r.Variant, r.Unit)
+	}
+	fmt.Printf("%-32s %.0f MB/day of background traffic\n",
+		"clouddrive-daily-volume", core.CloudDriveDailyBackgroundMB(seed))
+	fmt.Println()
+}

@@ -1,0 +1,87 @@
+// Command comparebench runs persistable benchmark campaigns and
+// compares them — across tool versions (regression detection) or
+// across vantages (the paper's "compare results from different
+// locations").
+//
+// Run a campaign and save it:
+//
+//	comparebench -run -from twente -reps 8 -out eu.json
+//	comparebench -run -from SEA    -reps 8 -out us.json
+//
+// Compare two campaigns:
+//
+//	comparebench -a eu.json -b us.json -threshold 1.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		doRun     = flag.Bool("run", false, "run a campaign")
+		from      = flag.String("from", "twente", "vantage (city or IATA code)")
+		reps      = flag.Int("reps", 8, "repetitions per workload")
+		seed      = flag.Int64("seed", 42, "base seed")
+		out       = flag.String("out", "", "write campaign JSON here")
+		fileA     = flag.String("a", "", "campaign A for comparison")
+		fileB     = flag.String("b", "", "campaign B for comparison")
+		threshold = flag.Float64("threshold", 1.3, "report ratios outside [1/t, t]")
+	)
+	flag.Parse()
+
+	switch {
+	case *doRun:
+		v, ok := core.VantageByName(*from)
+		if !ok {
+			fatalf("unknown vantage %q", *from)
+		}
+		c := core.RunFullCampaign(v, *reps, *seed)
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := c.WriteJSON(w); err != nil {
+			fatalf("%v", err)
+		}
+		if *out != "" {
+			fmt.Printf("campaign from %s written to %s\n", v.Name, *out)
+		}
+	case *fileA != "" && *fileB != "":
+		a := readCampaign(*fileA)
+		b := readCampaign(*fileB)
+		fmt.Printf("A: %s from %s (seed %d)\nB: %s from %s (seed %d)\n\n",
+			a.Tool, a.Vantage, a.Seed, b.Tool, b.Vantage, b.Seed)
+		fmt.Print(core.DeltaReport(core.Compare(a, b, *threshold)))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func readCampaign(path string) core.Campaign {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	c, err := core.ReadCampaign(f)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return c
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command dcmap runs the architecture-discovery pipeline (Sect. 2.1):
+// it drives each client, collects the DNS names it contacts, resolves
+// them through >2,000 world-wide open resolvers, identifies owners via
+// whois, and geolocates every front-end with the hybrid methodology.
+// For Google Drive this reproduces the Fig. 2 edge-node map.
+//
+// Usage:
+//
+//	dcmap [-service NAME|all] [-seed N] [-servers]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		service = flag.String("service", "all", "service to map, or all")
+		seed    = flag.Int64("seed", 42, "random seed")
+		servers = flag.Bool("servers", false, "dump every discovered front-end")
+	)
+	flag.Parse()
+
+	var profiles []client.Profile
+	if *service == "all" {
+		profiles = client.Profiles()
+	} else {
+		p, ok := client.ProfileFor(*service)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown service %q\n", *service)
+			os.Exit(2)
+		}
+		profiles = []client.Profile{p}
+	}
+
+	for _, p := range profiles {
+		d := core.Discover(p, *seed)
+		fmt.Print(core.DiscoveryReport(d))
+		if *servers {
+			fmt.Println("  front-ends (ip, dns, reverse-dns, owner, method, location):")
+			for _, s := range d.Servers {
+				fmt.Printf("    %-16s %-28s %-34s %-22s %-12s %s %s\n",
+					s.IP, s.DNSName, s.ReverseDNS, s.Owner,
+					s.Location.Method, s.Location.City, s.Location.Coord)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,111 @@
+// Command tracedump captures and inspects benchmark traces.
+//
+// Run a synchronization experiment and save its packet trace:
+//
+//	tracedump -service dropbox -files 100 -size 10000 -out run.trace
+//
+// Summarize a previously saved trace (capinfos-style):
+//
+//	tracedump -in run.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		service = flag.String("service", "dropbox", "service to trace")
+		files   = flag.Int("files", 100, "number of files in the batch")
+		size    = flag.Int64("size", 10_000, "bytes per file")
+		seed    = flag.Int64("seed", 42, "random seed")
+		out     = flag.String("out", "", "write the trace to this file")
+		in      = flag.String("in", "", "summarize this trace file instead of running")
+	)
+	flag.Parse()
+
+	if *in != "" {
+		if err := summarize(*in); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	p, ok := client.ProfileFor(*service)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown service %q\n", *service)
+		os.Exit(2)
+	}
+	tb := core.NewTestbed(p, *seed, 0)
+	start := tb.Settle()
+	t0 := tb.Clock.Now()
+	workload.Batch{Count: *files, Size: *size, Kind: workload.Binary}.
+		Materialize(tb.Folder, tb.RNG, t0, "bench")
+	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+	tb.Clock.AdvanceTo(res.Done)
+
+	if *out == "" {
+		printSummary(tb.Cap)
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := tb.Cap.WriteCSV(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d packets on %d flows to %s\n", tb.Cap.Len(), tb.Cap.NumFlows(), *out)
+}
+
+func summarize(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cap, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	printSummary(cap)
+	return nil
+}
+
+func printSummary(cap *trace.Capture) {
+	pkts := cap.Packets()
+	fmt.Printf("packets:        %d records\n", cap.Len())
+	fmt.Printf("flows:          %d\n", cap.NumFlows())
+	fmt.Printf("connections:    %d client-initiated\n", cap.ConnectionCount(trace.AllFlows))
+	fmt.Printf("bytes total:    %d on the wire\n", cap.TotalWireBytes(trace.AllFlows))
+	fmt.Printf("bytes up/down:  %d / %d payload\n",
+		cap.PayloadBytesDir(trace.AllFlows, trace.Upstream),
+		cap.PayloadBytesDir(trace.AllFlows, trace.Downstream))
+	if len(pkts) > 0 {
+		fmt.Printf("span:           %s\n", pkts[len(pkts)-1].Time.Sub(pkts[0].Time))
+	}
+	fmt.Println("\nper-server-name totals:")
+	byName := map[string]int64{}
+	flowBytes := cap.FlowBytes()
+	for _, fl := range cap.Flows() {
+		byName[fl.ServerName] += flowBytes[fl.ID]
+	}
+	for _, fl := range cap.Flows() {
+		if v, ok := byName[fl.ServerName]; ok {
+			fmt.Printf("  %-32s %d bytes\n", fl.ServerName, v)
+			delete(byName, fl.ServerName)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Benchmarking
+// Personal Cloud Storage" (Drago, Bocchi, Mellia, Slatman, Pras —
+// ACM IMC 2013): the methodology and tool for studying personal cloud
+// storage services, applied to emulated reconstructions of Dropbox,
+// SkyDrive, Wuala, Google Drive and Amazon Cloud Drive.
+//
+// The benchmark framework lives in internal/core; the service
+// reconstructions in internal/client and internal/cloud; the network,
+// DNS and measurement substrates in internal/{netem,tcpsim,httpsim,
+// dnssim,trace,geo,whois,sim}; and the real data-plane algorithms in
+// internal/{chunker,dedup,deltaenc,compressor,cryptobox,workload}.
+// See DESIGN.md for the system inventory and the per-experiment index,
+// and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The benchmarks in bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,97 @@
+// Custom service: the paper closes by inviting the community "to
+// extend the number of tested services". This example defines a sixth
+// service from scratch — "EuroSync", a hypothetical EU-hosted provider
+// that combines Wuala's placement with Dropbox-style bundling but no
+// other capability — and benchmarks it against Dropbox on the paper's
+// multi-file workload.
+//
+//	go run ./examples/custom-service
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cloud"
+	"repro/internal/compressor"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/httpsim"
+	"repro/internal/workload"
+)
+
+// euroSyncSpec places two data centers in Europe (Amsterdam and
+// Frankfurt), both serving storage and control.
+func euroSyncSpec() cloud.Spec {
+	return cloud.Spec{
+		Service:          "eurosync",
+		LoginServerCount: 2,
+		Sites: []cloud.Site{
+			{
+				Name: "amsterdam", City: "Amsterdam",
+				Coord: geo.Coord{Lat: 52.31, Lon: 4.76},
+				Roles: []cloud.Role{cloud.Control, cloud.Storage}, Servers: 4,
+				Owner: "EuroSync B.V.", Netname: "EUROSYNC", Prefix: "185.40",
+				RateBps: 40e6, ProcDelay: 20 * time.Millisecond, PTRHint: true,
+			},
+			{
+				Name: "frankfurt", City: "Frankfurt",
+				Coord: geo.Coord{Lat: 50.03, Lon: 8.57},
+				Roles: []cloud.Role{cloud.Control, cloud.Storage}, Servers: 4,
+				Owner: "EuroSync B.V.", Netname: "EUROSYNC", Prefix: "185.41",
+				RateBps: 40e6, ProcDelay: 20 * time.Millisecond, PTRHint: true,
+			},
+		},
+	}
+}
+
+// euroSyncProfile: bundling and fixed 4 MB chunks, nothing else.
+func euroSyncProfile() client.Profile {
+	return client.Profile{
+		Name: "EuroSync", Service: "eurosync",
+		ChunkMode: client.FixedChunks, ChunkSize: 4 << 20,
+		Bundling:           true,
+		Compression:        compressor.None,
+		Strategy:           client.PersistentBundled,
+		ChunkCommit:        true,
+		ControlRPCsPerSync: 3,
+		ControlReqBytes:    800, ControlRespBytes: 600,
+		DetectBase: 1200 * time.Millisecond, DetectPerFile: 10 * time.Millisecond,
+		AggregationWait:       800 * time.Millisecond,
+		PerFileClientOverhead: 10 * time.Millisecond,
+		PollInterval:          time.Minute,
+		PollUpBytes:           100, PollDownBytes: 100,
+		LoginReqBytes: 700, LoginRespBytes: 11_000,
+		HTTP: httpsim.DefaultProfile,
+	}
+}
+
+func main() {
+	batch := workload.Batch{Count: 100, Size: 10_000, Kind: workload.Binary}
+	fmt.Printf("workload: %s binary files\n\n", batch)
+
+	run := func(name string, m core.Metrics) {
+		fmt.Printf("%-10s startup %-8s completion %-8s overhead %.2fx conns %d\n",
+			name,
+			core.FormatDuration(m.Startup),
+			core.FormatDuration(m.Completion),
+			m.Overhead, m.Connections)
+	}
+
+	// The custom service goes through the identical harness.
+	tb := core.NewTestbedFor(euroSyncProfile(), euroSyncSpec(), 1, core.DefaultJitter)
+	start := tb.Settle()
+	t0 := tb.Clock.Now()
+	batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
+	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+	tb.Clock.AdvanceTo(res.Done)
+	run("EuroSync", core.MeasureWindow(tb, t0, batch.Total()))
+
+	run("Dropbox", core.RunSync(client.Dropbox(), batch, 1, core.DefaultJitter))
+
+	fmt.Println("\nEuroSync combines EU placement (short RTT) with bundling, so it")
+	fmt.Println("beats Dropbox on completion even without compression or dedup —")
+	fmt.Println("the paper's Sect. 6 takeaway about data-center placement plus")
+	fmt.Println("protocol design, demonstrated on a service that does not exist.")
+}

@@ -1,0 +1,34 @@
+// Quickstart: benchmark one personal cloud storage service with the
+// paper's methodology in ~20 lines.
+//
+// It builds a testbed for Dropbox, uploads the paper's 100x10 kB
+// workload, and prints the three Sect. 5 metrics — synchronization
+// start-up, completion time, protocol overhead — all derived from the
+// packet trace.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	profile := client.Dropbox()
+	batch := workload.Batch{Count: 100, Size: 10_000, Kind: workload.Binary}
+
+	fmt.Printf("benchmarking %s with %s (binary files)\n\n", profile.Name, batch)
+	m := core.RunSync(profile, batch, 1 /* seed */, core.DefaultJitter)
+
+	fmt.Printf("synchronization start-up: %s\n", core.FormatDuration(m.Startup))
+	fmt.Printf("upload completion:        %s\n", core.FormatDuration(m.Completion))
+	fmt.Printf("total traffic:            %.1f kB for %.1f kB of content\n",
+		float64(m.TotalTraffic)/1000, float64(batch.Total())/1000)
+	fmt.Printf("protocol overhead:        %.2fx\n", m.Overhead)
+	fmt.Printf("connections opened:       %d\n", m.Connections)
+	fmt.Printf("goodput:                  %.2f Mb/s\n", m.GoodputBps/1e6)
+}

@@ -1,0 +1,187 @@
+package chunker
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func reassemble(chunks []Chunk) []byte {
+	var out []byte
+	for _, c := range chunks {
+		out = append(out, c.Data...)
+	}
+	return out
+}
+
+func TestFixedSplitExact(t *testing.T) {
+	f := NewFixed(4)
+	data := []byte("abcdefghij") // 10 bytes -> 4,4,2
+	chunks := f.Split(data)
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	wantSizes := []int64{4, 4, 2}
+	for i, s := range Sizes(chunks) {
+		if s != wantSizes[i] {
+			t.Fatalf("sizes = %v", Sizes(chunks))
+		}
+	}
+	if chunks[2].Offset != 8 {
+		t.Fatalf("offset = %d", chunks[2].Offset)
+	}
+	if !bytes.Equal(reassemble(chunks), data) {
+		t.Fatal("reassembly mismatch")
+	}
+}
+
+func TestFixedEmptyAndSingle(t *testing.T) {
+	f := NewFixed(1 << 20)
+	if got := f.Split(nil); got != nil {
+		t.Fatal("empty input should produce no chunks")
+	}
+	chunks := f.Split([]byte("x"))
+	if len(chunks) != 1 || chunks[0].Len() != 1 {
+		t.Fatalf("single byte: %v", chunks)
+	}
+}
+
+func TestNewFixedPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for size 0")
+		}
+	}()
+	NewFixed(0)
+}
+
+func TestFixedPartitionProperty(t *testing.T) {
+	rng := sim.NewRNG(1)
+	f := func(sizeSeed uint16, n uint16) bool {
+		size := int64(sizeSeed%4096) + 1
+		data := rng.Bytes(int(n))
+		chunks := NewFixed(size).Split(data)
+		// Exact coverage, in order, all within size.
+		var off int64
+		for _, c := range chunks {
+			if c.Offset != off || c.Len() > size || c.Len() == 0 {
+				return false
+			}
+			off += c.Len()
+		}
+		return off == int64(len(data)) && bytes.Equal(reassemble(chunks), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentDefinedPartitionProperty(t *testing.T) {
+	rng := sim.NewRNG(2)
+	cd := NewContentDefined(1024)
+	f := func(n uint16) bool {
+		data := rng.Bytes(int(n))
+		chunks := cd.Split(data)
+		var off int64
+		for _, c := range chunks {
+			if c.Offset != off || c.Len() == 0 || c.Len() > cd.Max {
+				return false
+			}
+			// All but the final chunk respect the minimum.
+			off += c.Len()
+		}
+		return off == int64(len(data)) && bytes.Equal(reassemble(chunks), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentDefinedAverageSize(t *testing.T) {
+	rng := sim.NewRNG(3)
+	cd := NewContentDefined(4096)
+	data := rng.Bytes(1 << 20)
+	chunks := cd.Split(data)
+	avg := float64(len(data)) / float64(len(chunks))
+	if avg < 1024 || avg > 16384 {
+		t.Fatalf("average chunk = %.0f bytes, want around 4096", avg)
+	}
+	for i, c := range chunks {
+		if i < len(chunks)-1 && c.Len() < cd.Min {
+			t.Fatalf("chunk %d below min: %d", i, c.Len())
+		}
+	}
+}
+
+func TestContentDefinedDeterminism(t *testing.T) {
+	rng := sim.NewRNG(4)
+	data := rng.Bytes(100_000)
+	cd := NewContentDefined(2048)
+	a, b := cd.Split(data), cd.Split(data)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic chunk count")
+	}
+	for i := range a {
+		if a[i].Offset != b[i].Offset {
+			t.Fatal("nondeterministic boundaries")
+		}
+	}
+}
+
+// The key property that distinguishes content-defined from fixed
+// chunking: a local edit disturbs only a bounded neighbourhood of
+// chunks, while with fixed chunking an insertion changes every chunk
+// after the edit point.
+func TestContentDefinedLocality(t *testing.T) {
+	rng := sim.NewRNG(5)
+	data := rng.Bytes(512 << 10)
+	cd := NewContentDefined(4096)
+	before := cd.Split(data)
+
+	// Insert 100 bytes near the middle.
+	edit := make([]byte, 0, len(data)+100)
+	mid := len(data) / 2
+	edit = append(edit, data[:mid]...)
+	edit = append(edit, rng.Bytes(100)...)
+	edit = append(edit, data[mid:]...)
+	after := cd.Split(edit)
+
+	hashes := func(chunks []Chunk) map[string]int {
+		m := make(map[string]int)
+		for _, c := range chunks {
+			m[string(c.Data)]++
+		}
+		return m
+	}
+	hb, ha := hashes(before), hashes(after)
+	shared := 0
+	for k := range ha {
+		if hb[k] > 0 {
+			shared++
+		}
+	}
+	if frac := float64(shared) / float64(len(after)); frac < 0.8 {
+		t.Fatalf("only %.0f%% of chunks survive a local edit, want >= 80%%", frac*100)
+	}
+
+	// Contrast: fixed chunking shares only the prefix.
+	fx := NewFixed(4096)
+	fb, fa := hashes(fx.Split(data)), hashes(fx.Split(edit))
+	sharedFixed := 0
+	for k := range fa {
+		if fb[k] > 0 {
+			sharedFixed++
+		}
+	}
+	if sharedFixed >= shared {
+		t.Fatalf("fixed chunking (%d shared) should lose more chunks than CDC (%d)", sharedFixed, shared)
+	}
+}
+
+func TestSizesHelper(t *testing.T) {
+	if got := Sizes(nil); len(got) != 0 {
+		t.Fatal("Sizes(nil)")
+	}
+}

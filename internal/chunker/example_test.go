@@ -1,0 +1,20 @@
+package chunker_test
+
+import (
+	"fmt"
+
+	"repro/internal/chunker"
+)
+
+// ExampleFixed splits content the way Dropbox does (fixed-size
+// chunks), showing offsets and lengths.
+func ExampleFixed() {
+	data := make([]byte, 10_000)
+	for _, c := range chunker.NewFixed(4096).Split(data) {
+		fmt.Printf("offset %5d len %4d\n", c.Offset, c.Len())
+	}
+	// Output:
+	// offset     0 len 4096
+	// offset  4096 len 4096
+	// offset  8192 len 1808
+}

@@ -1,0 +1,164 @@
+package client
+
+import (
+	"repro/internal/chunker"
+	"repro/internal/compressor"
+	"repro/internal/cryptobox"
+	"repro/internal/dedup"
+	"repro/internal/deltaenc"
+)
+
+// TransferUnit is one storage upload the transfer layer must perform:
+// Bytes on the wire (after delta/compression/encryption), for a chunk
+// that originally covered RawBytes of file content. Deduplicated
+// chunks never become units.
+type TransferUnit struct {
+	Path     string
+	Bytes    int64
+	RawBytes int64
+	// Commit indicates the client waits for the per-chunk
+	// acknowledgment before sending the next unit of this file.
+	Commit bool
+}
+
+// FilePlan is the upload plan for one changed file.
+type FilePlan struct {
+	Path      string
+	FileBytes int64 // current file size
+	Units     []TransferUnit
+	// DedupSkipped counts content bytes NOT uploaded thanks to
+	// client-side deduplication.
+	DedupSkipped int64
+}
+
+// UploadBytes sums the unit sizes.
+func (p FilePlan) UploadBytes() int64 {
+	var n int64
+	for _, u := range p.Units {
+		n += u.Bytes
+	}
+	return n
+}
+
+// planner turns changed files into upload plans, maintaining the
+// client-side state the capabilities need: the manifest of known chunk
+// hashes per path (deduplication) and per-chunk delta signatures
+// (delta encoding).
+type planner struct {
+	profile  Profile
+	store    *dedup.Store // the service's server-side chunk store
+	manifest *dedup.Manifest
+	sigs     map[string][]*deltaenc.Signature // per path, per chunk index
+}
+
+func newPlanner(p Profile, store *dedup.Store) *planner {
+	return &planner{
+		profile:  p,
+		store:    store,
+		manifest: dedup.NewManifest(),
+		sigs:     make(map[string][]*deltaenc.Signature),
+	}
+}
+
+// split applies the profile's chunking mode.
+func (pl *planner) split(data []byte) []chunker.Chunk {
+	switch pl.profile.ChunkMode {
+	case FixedChunks:
+		return chunker.NewFixed(pl.profile.ChunkSize).Split(data)
+	case VariableChunks:
+		return chunker.NewContentDefined(pl.profile.ChunkSize).Split(data)
+	default:
+		if len(data) == 0 {
+			return nil
+		}
+		return []chunker.Chunk{{Offset: 0, Data: data}}
+	}
+}
+
+// PlanFile computes the upload plan for one created or modified file,
+// updating client and server state (the server store learns the new
+// chunks; this models the upload's effect and keeps timing concerns in
+// the transfer layer).
+func (pl *planner) PlanFile(path string, data []byte) FilePlan {
+	prof := pl.profile
+	plan := FilePlan{Path: path, FileBytes: int64(len(data))}
+
+	chunks := pl.split(data)
+	oldSigs := pl.sigs[path]
+	newHashes := make([]dedup.Hash, 0, len(chunks))
+	var newSigs []*deltaenc.Signature
+	if prof.DeltaEncoding {
+		newSigs = make([]*deltaenc.Signature, 0, len(chunks))
+	}
+
+	for i, ch := range chunks {
+		payload := ch.Data
+		if prof.Encryption {
+			// Convergent encryption: equal chunks keep equal
+			// ciphertexts, so dedup below still works.
+			payload, _ = cryptobox.Encrypt(ch.Data)
+		}
+		h := dedup.HashBytes(payload)
+		newHashes = append(newHashes, h)
+		if prof.DeltaEncoding {
+			newSigs = append(newSigs, deltaenc.Sign(ch.Data, deltaenc.DefaultBlockSize))
+		}
+
+		if prof.Dedup && pl.store.Has(h) {
+			plan.DedupSkipped += ch.Len()
+			continue
+		}
+
+		wire := pl.unitBytes(i, ch, payload, oldSigs)
+		pl.store.Put(payload)
+		plan.Units = append(plan.Units, TransferUnit{
+			Path:     path,
+			Bytes:    wire,
+			RawBytes: ch.Len(),
+			Commit:   prof.ChunkCommit,
+		})
+	}
+
+	pl.manifest.Set(path, newHashes)
+	if prof.DeltaEncoding {
+		pl.sigs[path] = newSigs
+	}
+	return plan
+}
+
+// unitBytes computes the wire size of one chunk upload, applying
+// delta encoding against the previous revision's same-index chunk
+// (Dropbox applies its rsync per chunk, Sect. 4.4) and then the
+// compression policy.
+func (pl *planner) unitBytes(idx int, ch chunker.Chunk, payload []byte, oldSigs []*deltaenc.Signature) int64 {
+	prof := pl.profile
+	if prof.DeltaEncoding && idx < len(oldSigs) && oldSigs[idx] != nil {
+		d := deltaenc.Compute(oldSigs[idx], ch.Data)
+		// The literal bytes still benefit from compression; the
+		// copy-op framing does not.
+		lits := make([]byte, 0, d.LiteralBytes())
+		for _, op := range d.Ops {
+			if !op.Copy {
+				lits = append(lits, op.Literal...)
+			}
+		}
+		res := compressor.Apply(prof.Compression, lits)
+		return int64(len(res.Data)) + (d.WireSize() - d.LiteralBytes())
+	}
+	res := compressor.Apply(prof.Compression, payload)
+	return int64(len(res.Data))
+}
+
+// ForgetFile drops client-side state for a deleted path. The server
+// store is intentionally left alone: that is what lets deduplication
+// succeed when the file is later restored (Sect. 4.3 step iv).
+func (pl *planner) ForgetFile(path string) {
+	pl.manifest.Delete(path)
+	delete(pl.sigs, path)
+}
+
+// ManifestBytes is the metadata volume for announcing n chunk hashes
+// to the server during a dedup check.
+func ManifestBytes(nChunks int) int64 {
+	return int64(nChunks) * (dedup.HashSize + 8)
+}

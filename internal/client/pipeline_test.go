@@ -1,0 +1,188 @@
+package client
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/compressor"
+	"repro/internal/dedup"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func newTestPlanner(p Profile) *planner {
+	return newPlanner(p, dedup.NewStore())
+}
+
+func TestPlanFileNoCapabilities(t *testing.T) {
+	p := CloudDrive() // no chunking, no compression, no dedup
+	pl := newTestPlanner(p)
+	data := workload.Generate(sim.NewRNG(1), workload.Binary, 100_000)
+	plan := pl.PlanFile("a.bin", data)
+	if len(plan.Units) != 1 {
+		t.Fatalf("units = %d, want 1 (no chunking)", len(plan.Units))
+	}
+	if plan.Units[0].Bytes != 100_000 {
+		t.Fatalf("bytes = %d, want raw size", plan.Units[0].Bytes)
+	}
+	if plan.Units[0].Commit {
+		t.Fatal("no chunk commit for Cloud Drive")
+	}
+	if plan.DedupSkipped != 0 {
+		t.Fatal("no dedup for Cloud Drive")
+	}
+}
+
+func TestPlanFileChunksLargeFiles(t *testing.T) {
+	p := Dropbox()
+	pl := newTestPlanner(p)
+	data := workload.Generate(sim.NewRNG(2), workload.Binary, 9<<20) // 9 MB -> 3 chunks of 4/4/1
+	plan := pl.PlanFile("big.bin", data)
+	if len(plan.Units) != 3 {
+		t.Fatalf("units = %d, want 3 chunks", len(plan.Units))
+	}
+	if plan.Units[0].RawBytes != 4<<20 || plan.Units[2].RawBytes != 1<<20 {
+		t.Fatalf("raw sizes: %d, %d", plan.Units[0].RawBytes, plan.Units[2].RawBytes)
+	}
+	for _, u := range plan.Units {
+		if !u.Commit {
+			t.Fatal("Dropbox chunks carry commits")
+		}
+		// Compressed random data is slightly larger than raw.
+		if u.Bytes < u.RawBytes {
+			t.Fatalf("random chunk shrank: %d -> %d", u.RawBytes, u.Bytes)
+		}
+	}
+}
+
+func TestPlanFileCompressionShrinksText(t *testing.T) {
+	p := Dropbox()
+	pl := newTestPlanner(p)
+	data := workload.Generate(sim.NewRNG(3), workload.Text, 500_000)
+	plan := pl.PlanFile("t.txt", data)
+	if got := plan.UploadBytes(); got > 250_000 {
+		t.Fatalf("compressed text upload = %d, want < half", got)
+	}
+}
+
+func TestPlanFileDedupSecondCopy(t *testing.T) {
+	p := Dropbox()
+	pl := newTestPlanner(p)
+	data := workload.Generate(sim.NewRNG(4), workload.Binary, 300_000)
+	first := pl.PlanFile("one.bin", data)
+	second := pl.PlanFile("two.bin", append([]byte{}, data...))
+	if first.UploadBytes() == 0 {
+		t.Fatal("first upload empty")
+	}
+	if len(second.Units) != 0 || second.DedupSkipped != 300_000 {
+		t.Fatalf("replica not deduplicated: %+v", second)
+	}
+}
+
+func TestPlanFileDedupAfterForget(t *testing.T) {
+	// ForgetFile drops client state but the store keeps chunks: a
+	// restored file dedups (Sect. 4.3 step iv).
+	p := Wuala()
+	pl := newTestPlanner(p)
+	data := workload.Generate(sim.NewRNG(5), workload.Binary, 200_000)
+	pl.PlanFile("w.bin", data)
+	pl.ForgetFile("w.bin")
+	again := pl.PlanFile("w.bin", data)
+	if len(again.Units) != 0 {
+		t.Fatalf("restore re-uploads %d units", len(again.Units))
+	}
+}
+
+func TestPlanFileEncryptionStillDedups(t *testing.T) {
+	// Convergent encryption: the ciphertext hash of equal chunks is
+	// equal, so the replica dedups even though the store only ever
+	// sees ciphertext.
+	p := Wuala()
+	pl := newTestPlanner(p)
+	data := workload.Generate(sim.NewRNG(6), workload.Binary, 150_000)
+	pl.PlanFile("a.bin", data)
+	rep := pl.PlanFile("b.bin", append([]byte{}, data...))
+	if len(rep.Units) != 0 {
+		t.Fatal("encrypted replica not deduplicated")
+	}
+	// And the store must NOT contain the plaintext hash.
+	if pl.store.Has(dedup.HashBytes(data)) {
+		t.Fatal("store holds plaintext content address — encryption bypassed")
+	}
+}
+
+func TestPlanFileDeltaOnModification(t *testing.T) {
+	p := Dropbox()
+	pl := newTestPlanner(p)
+	rng := sim.NewRNG(7)
+	base := workload.Generate(rng, workload.Binary, 1<<20)
+	pl.PlanFile("d.bin", base)
+	modified := append(append([]byte{}, base...), workload.Generate(rng, workload.Binary, 50_000)...)
+	plan := pl.PlanFile("d.bin", modified)
+	up := plan.UploadBytes()
+	if up < 45_000 || up > 120_000 {
+		t.Fatalf("delta upload = %d, want ~50 kB", up)
+	}
+}
+
+func TestPlanFileNoDeltaWithoutPriorRevision(t *testing.T) {
+	p := Dropbox()
+	pl := newTestPlanner(p)
+	data := workload.Generate(sim.NewRNG(8), workload.Binary, 500_000)
+	plan := pl.PlanFile("new.bin", data)
+	if plan.UploadBytes() < 500_000 {
+		t.Fatalf("first revision must travel whole: %d", plan.UploadBytes())
+	}
+}
+
+func TestPlanFileEmpty(t *testing.T) {
+	for _, p := range []Profile{Dropbox(), CloudDrive(), Wuala()} {
+		pl := newTestPlanner(p)
+		plan := pl.PlanFile("empty.bin", nil)
+		if len(plan.Units) != 0 || plan.FileBytes != 0 {
+			t.Fatalf("%s: empty file plan: %+v", p.Name, plan)
+		}
+	}
+}
+
+func TestPlanFileDeltaSurvivesCompression(t *testing.T) {
+	// Delta literals get compressed: appending compressible text to
+	// a text file uploads even less than the appended size.
+	p := Dropbox()
+	pl := newTestPlanner(p)
+	rng := sim.NewRNG(9)
+	base := workload.Generate(rng, workload.Text, 1<<20)
+	pl.PlanFile("t.txt", base)
+	add := workload.Generate(rng, workload.Text, 100_000)
+	plan := pl.PlanFile("t.txt", append(append([]byte{}, base...), add...))
+	if got := plan.UploadBytes(); got > 60_000 {
+		t.Fatalf("compressed delta = %d, want well under 100 kB", got)
+	}
+}
+
+func TestManifestBytesScalesWithChunks(t *testing.T) {
+	if ManifestBytes(0) != 0 {
+		t.Fatal("zero chunks")
+	}
+	if ManifestBytes(10) <= ManifestBytes(1) {
+		t.Fatal("manifest must scale")
+	}
+}
+
+func TestUnitBytesDeltaVsFull(t *testing.T) {
+	// Directly exercise unitBytes' two paths.
+	p := Dropbox()
+	p.Compression = compressor.None
+	pl := newTestPlanner(p)
+	rng := sim.NewRNG(10)
+	base := workload.Generate(rng, workload.Binary, 256<<10)
+	pl.PlanFile("x.bin", base)
+	// Identical re-write: delta should be nearly free.
+	plan := pl.PlanFile("x.bin", append([]byte{}, base...))
+	if len(plan.Units) != 0 && plan.UploadBytes() > 10_000 {
+		t.Fatalf("identical rewrite uploaded %d", plan.UploadBytes())
+	}
+	if !bytes.Equal(base, base) {
+		t.Fatal("unreachable")
+	}
+}

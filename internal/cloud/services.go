@@ -1,0 +1,214 @@
+package cloud
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Data-center coordinates used by the specs. They match the locations
+// the paper identifies in Sect. 3.2.
+var (
+	sanJose   = geo.Coord{Lat: 37.34, Lon: -121.89}
+	nVirginia = geo.Coord{Lat: 39.04, Lon: -77.49} // Ashburn area
+	sVirginia = geo.Coord{Lat: 36.67, Lon: -76.33} // Boydton/Chesapeake area
+	seattle   = geo.Coord{Lat: 47.45, Lon: -122.31}
+	oregon    = geo.Coord{Lat: 45.84, Lon: -119.70} // Boardman
+	dublin    = geo.Coord{Lat: 53.34, Lon: -6.27}
+	singapore = geo.Coord{Lat: 1.35, Lon: 103.82}
+	nuremberg = geo.Coord{Lat: 49.45, Lon: 11.08}
+	zurich    = geo.Coord{Lat: 47.38, Lon: 8.54}
+	northFR   = geo.Coord{Lat: 50.69, Lon: 3.17} // Roubaix area
+)
+
+// ServiceNames lists the five studied services in the paper's order.
+var ServiceNames = []string{"dropbox", "skydrive", "wuala", "googledrive", "clouddrive"}
+
+// SpecFor returns the deployment spec of one of the five studied
+// services. It panics on unknown names; use ServiceNames for the
+// valid set.
+func SpecFor(service string) Spec {
+	switch service {
+	case "dropbox":
+		return DropboxSpec()
+	case "skydrive":
+		return SkyDriveSpec()
+	case "wuala":
+		return WualaSpec()
+	case "googledrive":
+		return GoogleDriveSpec()
+	case "clouddrive":
+		return CloudDriveSpec()
+	default:
+		panic(fmt.Sprintf("cloud: unknown service %q", service))
+	}
+}
+
+// DropboxSpec: own control servers in the San Jose area, storage
+// committed to Amazon in Northern Virginia, and the plain-HTTP
+// notification service.
+func DropboxSpec() Spec {
+	return Spec{
+		Service:          "dropbox",
+		LoginServerCount: 2,
+		Sites: []Site{
+			{
+				Name: "sanjose", City: "San Jose", Coord: sanJose,
+				Roles: []Role{Control, Notification}, Servers: 4,
+				Owner: "Dropbox, Inc.", Netname: "DROPBOX", Prefix: "108.160",
+				RateBps: 50e6, ProcDelay: 35 * time.Millisecond, PTRHint: true,
+			},
+			{
+				Name: "ashburn", City: "N. Virginia", Coord: nVirginia,
+				Roles: []Role{Storage}, Servers: 8,
+				Owner: "Amazon.com, Inc.", Netname: "AMAZON-AES", Prefix: "54.231",
+				RateBps: 15e6, ProcDelay: 40 * time.Millisecond, PTRHint: true,
+			},
+		},
+	}
+}
+
+// SkyDriveSpec: Microsoft data centers near Seattle (storage) and in
+// Southern Virginia (storage and control), plus a control-only
+// presence in Singapore. Login fans out over 13 Live servers.
+func SkyDriveSpec() Spec {
+	return Spec{
+		Service:          "skydrive",
+		LoginServerCount: 13,
+		Sites: []Site{
+			{
+				Name: "seattle", City: "Seattle", Coord: seattle,
+				Roles: []Role{Storage}, Servers: 8,
+				Owner: "Microsoft Corp", Netname: "MICROSOFT", Prefix: "134.170",
+				RateBps: 3e6, ProcDelay: 60 * time.Millisecond, PTRHint: false,
+			},
+			{
+				Name: "boydton", City: "S. Virginia", Coord: sVirginia,
+				Roles: []Role{Storage, Control}, Servers: 13,
+				Owner: "Microsoft Corp", Netname: "MICROSOFT", Prefix: "131.253",
+				RateBps: 3500e3, ProcDelay: 50 * time.Millisecond, PTRHint: false,
+			},
+			{
+				Name: "singapore", City: "Singapore", Coord: singapore,
+				Roles: []Role{Control}, Servers: 2,
+				Owner: "Microsoft Corp", Netname: "MICROSOFT", Prefix: "111.221",
+				RateBps: 8e6, ProcDelay: 50 * time.Millisecond, PTRHint: false,
+			},
+		},
+	}
+}
+
+// WualaSpec: four European locations — two in the Nuremberg area, one
+// in Zurich, one in Northern France — none owned by Wuala (hosting
+// providers), and no control/storage split: the same hosts do both,
+// which is why the paper falls back to flow sizes to classify Wuala
+// traffic.
+func WualaSpec() Spec {
+	return Spec{
+		Service:          "wuala",
+		LoginServerCount: 2,
+		Sites: []Site{
+			{
+				Name: "nuremberg1", City: "Nuremberg", Coord: nuremberg,
+				Roles: []Role{Control, Storage}, Servers: 4,
+				Owner: "Hetzner Online AG", Netname: "HETZNER", Prefix: "178.63",
+				RateBps: 35e6, ProcDelay: 25 * time.Millisecond, PTRHint: true,
+			},
+			{
+				Name: "nuremberg2", City: "Nuremberg", Coord: geo.Coord{Lat: 49.43, Lon: 11.15},
+				Roles: []Role{Control, Storage}, Servers: 4,
+				Owner: "Hetzner Online AG", Netname: "HETZNER", Prefix: "144.76",
+				RateBps: 35e6, ProcDelay: 25 * time.Millisecond, PTRHint: true,
+			},
+			{
+				Name: "zurich", City: "Zurich", Coord: zurich,
+				Roles: []Role{Control, Storage}, Servers: 2,
+				Owner: "Init7 AG", Netname: "INIT7", Prefix: "82.197",
+				RateBps: 35e6, ProcDelay: 25 * time.Millisecond, PTRHint: true,
+			},
+			{
+				Name: "roubaix", City: "N. France", Coord: northFR,
+				Roles: []Role{Control, Storage}, Servers: 2,
+				Owner: "OVH SAS", Netname: "OVH", Prefix: "94.23",
+				RateBps: 35e6, ProcDelay: 25 * time.Millisecond, PTRHint: true,
+			},
+		},
+	}
+}
+
+// GoogleDriveSpec: the client-facing fleet is a world-wide edge
+// network (two nodes per airport city in the landmark DB — over 100
+// entry points, matching Fig. 2); edges relay over the private
+// backbone to central data centers, modelled as edge processing delay.
+func GoogleDriveSpec() Spec {
+	spec := Spec{
+		Service:          "googledrive",
+		EdgeNetwork:      true,
+		LoginServerCount: 2,
+	}
+	for _, a := range geo.Airports() {
+		spec.Sites = append(spec.Sites, Site{
+			Name: "edge-" + lowerCode(a.Code), City: a.City, Coord: a.Coord,
+			Roles: []Role{Edge}, Servers: 2,
+			Owner: "Google Inc.", Netname: "GOOGLE", Prefix: "173.194",
+			RateBps: 26e6, ProcDelay: 130 * time.Millisecond, PTRHint: true,
+		})
+	}
+	// Central data centers behind the backbone (control+storage for
+	// the discovery pipeline; client traffic terminates at edges).
+	spec.Sites = append(spec.Sites,
+		Site{
+			Name: "dalles", City: "The Dalles, OR", Coord: geo.Coord{Lat: 45.59, Lon: -121.18},
+			Roles: []Role{Control, Storage}, Servers: 4,
+			Owner: "Google Inc.", Netname: "GOOGLE", Prefix: "74.125",
+			RateBps: 26e6, ProcDelay: 30 * time.Millisecond, PTRHint: false,
+		},
+		Site{
+			Name: "berkeley", City: "Berkeley County, SC", Coord: geo.Coord{Lat: 33.06, Lon: -80.04},
+			Roles: []Role{Control, Storage}, Servers: 4,
+			Owner: "Google Inc.", Netname: "GOOGLE", Prefix: "74.126",
+			RateBps: 26e6, ProcDelay: 30 * time.Millisecond, PTRHint: false,
+		},
+	)
+	return spec
+}
+
+// CloudDriveSpec: three AWS regions — Ireland and Northern Virginia
+// for both storage and control, Oregon for storage only.
+func CloudDriveSpec() Spec {
+	return Spec{
+		Service:          "clouddrive",
+		LoginServerCount: 2,
+		Sites: []Site{
+			{
+				Name: "dublin", City: "Ireland", Coord: dublin,
+				Roles: []Role{Storage, Control}, Servers: 6,
+				Owner: "Amazon.com, Inc.", Netname: "AMAZON-EU", Prefix: "54.239",
+				RateBps: 15e6, ProcDelay: 55 * time.Millisecond, PTRHint: true,
+			},
+			{
+				Name: "ashburn-cd", City: "N. Virginia", Coord: nVirginia,
+				Roles: []Role{Storage, Control}, Servers: 6,
+				Owner: "Amazon.com, Inc.", Netname: "AMAZON-AES", Prefix: "54.240",
+				RateBps: 15e6, ProcDelay: 55 * time.Millisecond, PTRHint: true,
+			},
+			{
+				Name: "boardman", City: "Oregon", Coord: oregon,
+				Roles: []Role{Storage}, Servers: 4,
+				Owner: "Amazon.com, Inc.", Netname: "AMAZON-PDX", Prefix: "54.245",
+				RateBps: 15e6, ProcDelay: 55 * time.Millisecond, PTRHint: true,
+			},
+		},
+	}
+}
+
+func lowerCode(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

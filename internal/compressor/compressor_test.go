@@ -1,0 +1,112 @@
+package compressor
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestNonePassthrough(t *testing.T) {
+	data := []byte("raw bytes")
+	r := Apply(None, data)
+	if r.Compressed || !bytes.Equal(r.Data, data) {
+		t.Fatalf("None modified data: %+v", r)
+	}
+}
+
+func TestAlwaysCompressesText(t *testing.T) {
+	rng := sim.NewRNG(1)
+	text := workload.Generate(rng, workload.Text, 100_000)
+	r := Apply(Always, text)
+	if !r.Compressed {
+		t.Fatal("not compressed")
+	}
+	ratio := float64(len(text)) / float64(len(r.Data))
+	if ratio < 2.5 {
+		t.Fatalf("text compression ratio %.2f, want >= 2.5", ratio)
+	}
+	back, err := Decompress(r.Data)
+	if err != nil || !bytes.Equal(back, text) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestAlwaysOnRandomGrows(t *testing.T) {
+	rng := sim.NewRNG(2)
+	random := workload.Generate(rng, workload.Binary, 100_000)
+	r := Apply(Always, random)
+	if len(r.Data) <= len(random) {
+		t.Fatalf("random data shrank: %d -> %d", len(random), len(r.Data))
+	}
+	// Flate's stored-block overhead is small.
+	if len(r.Data) > len(random)+len(random)/50 {
+		t.Fatalf("overhead too large: %d -> %d", len(random), len(r.Data))
+	}
+}
+
+func TestSmartSkipsRealJPEGHeader(t *testing.T) {
+	rng := sim.NewRNG(3)
+	fake := workload.Generate(rng, workload.FakeJPEG, 100_000)
+	// Smart trusts the header and skips — the Fig. 5c observation:
+	// Google Drive does NOT compress fake JPEGs.
+	r := Apply(Smart, fake)
+	if r.Compressed {
+		t.Fatal("Smart compressed a JPEG-headed file")
+	}
+	// Always compresses it anyway (Dropbox) and wins, because the
+	// body is text.
+	r2 := Apply(Always, fake)
+	if !r2.Compressed || len(r2.Data) >= len(fake) {
+		t.Fatalf("Always on fake JPEG: %d -> %d", len(fake), len(r2.Data))
+	}
+}
+
+func TestSmartCompressesText(t *testing.T) {
+	rng := sim.NewRNG(4)
+	text := workload.Generate(rng, workload.Text, 50_000)
+	r := Apply(Smart, text)
+	if !r.Compressed || len(r.Data) >= len(text) {
+		t.Fatalf("Smart on text: compressed=%v %d -> %d", r.Compressed, len(text), len(r.Data))
+	}
+}
+
+func TestLooksCompressedFormats(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want bool
+	}{
+		{"jpeg", []byte{0xFF, 0xD8, 0xFF, 0xE0}, true},
+		{"png", []byte{0x89, 'P', 'N', 'G'}, true},
+		{"gzip", []byte{0x1F, 0x8B, 8, 0}, true},
+		{"zip", []byte{'P', 'K', 3, 4}, true},
+		{"bzip2", []byte{'B', 'Z', 'h', '9'}, true},
+		{"ogg", []byte("OggS...."), true},
+		{"mp4", []byte{0, 0, 0, 24, 'f', 't', 'y', 'p', 'i', 's', 'o', 'm'}, true},
+		{"text", []byte("hello world"), false},
+		{"short", []byte{1, 2}, false},
+		{"empty", nil, false},
+	}
+	for _, c := range cases {
+		if got := LooksCompressed(c.data); got != c.want {
+			t.Errorf("%s: LooksCompressed = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if None.String() != "no" || Always.String() != "always" || Smart.String() != "smart" {
+		t.Fatal("policy names must match Table 1 vocabulary")
+	}
+}
+
+func TestApplyUnknownPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Apply(Policy(42), []byte("x"))
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/workload"
+)
+
+// BundlingStudy is the full Sect. 4.2 experiment: "The benchmark
+// consists of 4 upload sets, each containing exactly the same amount
+// of data, which is split into 1, 10, 100 or 1000 files". For each
+// set it reports completion, connections and bursts, exposing the
+// synchronization strategy.
+type BundlingStudy struct {
+	Service string
+	Sets    []workload.Batch
+	Results []BundlingSetResult
+}
+
+// BundlingSetResult is the measurement for one upload set.
+type BundlingSetResult struct {
+	Completion  time.Duration
+	Connections int
+	Overhead    float64
+}
+
+// RunBundlingStudy uploads the four same-volume sets for one service.
+func RunBundlingStudy(p client.Profile, total int64, seed int64) BundlingStudy {
+	sets := workload.BundlingSets(total, workload.Binary)
+	out := BundlingStudy{Service: p.Service, Sets: sets}
+	for i, b := range sets {
+		m := RunSync(p, b, seed+int64(i)*307, 0)
+		out.Results = append(out.Results, BundlingSetResult{
+			Completion:  m.Completion,
+			Connections: m.Connections,
+			Overhead:    m.Overhead,
+		})
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/client"
+)
+
+func TestBundlingStudyFourSets(t *testing.T) {
+	// Keep the volume modest so the 1000-file set stays fast.
+	const total = 1_000_000
+
+	drop := RunBundlingStudy(client.Dropbox(), total, 51)
+	if len(drop.Results) != 4 {
+		t.Fatalf("sets = %d", len(drop.Results))
+	}
+	// Bundling: splitting the same volume into 1000 files costs
+	// Dropbox far less than it costs a per-file-connection service.
+	dropRatio := float64(drop.Results[3].Completion) / float64(drop.Results[0].Completion)
+
+	gd := RunBundlingStudy(client.GoogleDrive(), total, 51)
+	gdRatio := float64(gd.Results[3].Completion) / float64(gd.Results[0].Completion)
+	if gdRatio < 4*dropRatio {
+		t.Fatalf("1000-file penalty: gdrive %.1fx vs dropbox %.1fx — bundling should help much more", gdRatio, dropRatio)
+	}
+
+	// Connection counts scale with files only for per-file services.
+	if got := gd.Results[3].Connections; got < 900 {
+		t.Fatalf("gdrive 1000-file set opened %d connections", got)
+	}
+	if got := drop.Results[3].Connections; got > 20 {
+		t.Fatalf("dropbox 1000-file set opened %d connections", got)
+	}
+
+	// Overhead explodes with file count for the per-file services
+	// (Sect. 5.3).
+	if gd.Results[3].Overhead < 2*gd.Results[0].Overhead {
+		t.Fatalf("gdrive overhead did not grow with file count: %+v", gd.Results)
+	}
+}

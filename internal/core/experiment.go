@@ -1,0 +1,146 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DefaultReps is the paper's repetition count: "Each experiment is
+// repeated 24 times per service."
+const DefaultReps = 24
+
+// DefaultJitter is the RTT jitter fraction used by benchmark
+// campaigns, giving repetitions their dispersion.
+const DefaultJitter = 0.10
+
+// RunSync executes one repetition of a synchronization benchmark:
+// fresh testbed, login, settle, materialize the batch, let the client
+// synchronize, and measure everything from the trace.
+func RunSync(p client.Profile, batch workload.Batch, seed int64, jitter float64) Metrics {
+	tb := NewTestbed(p, seed, jitter)
+	start := tb.Settle()
+
+	t0 := tb.Clock.Now()
+	batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
+	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+	tb.Clock.AdvanceTo(res.Done)
+
+	return MeasureWindow(tb, t0, batch.Total())
+}
+
+// MeasureWindow computes the Sect. 5 metrics for the benchmark window
+// starting at t0, for a workload of contentBytes.
+func MeasureWindow(tb *Testbed, t0 time.Time, contentBytes int64) Metrics {
+	win := tb.Cap.Window(t0, trace.FarFuture)
+	storage := tb.StorageFilter(t0)
+
+	var m Metrics
+	first, ok1 := win.FirstPayloadTime(storage)
+	last, ok2 := win.LastPayloadTime(storage)
+	if ok1 {
+		m.Startup = first.Sub(t0)
+	}
+	if ok1 && ok2 {
+		m.Completion = last.Sub(first)
+	}
+	m.TotalTraffic = win.TotalWireBytes(trace.AllFlows)
+	m.StorageUp = win.WireBytesDir(storage, trace.Upstream)
+	if contentBytes > 0 {
+		m.Overhead = float64(m.TotalTraffic) / float64(contentBytes)
+	}
+	m.Connections = win.ConnectionCount(trace.AllFlows)
+	if m.Completion > 0 && contentBytes > 0 {
+		m.GoodputBps = float64(contentBytes*8) / m.Completion.Seconds()
+	}
+	return m
+}
+
+// RunCampaign repeats one benchmark the paper's way — Reps repetitions
+// with independent randomness — and aggregates.
+func RunCampaign(p client.Profile, batch workload.Batch, reps int, baseSeed int64) Summary {
+	if reps <= 0 {
+		reps = DefaultReps
+	}
+	runs := make([]Metrics, 0, reps)
+	for i := 0; i < reps; i++ {
+		runs = append(runs, RunSync(p, batch, baseSeed+int64(i)*7919, DefaultJitter))
+	}
+	return Summarize(runs)
+}
+
+// IdleResult is one service's Fig. 1 dataset: the cumulative traffic
+// timeline from client start through 16 minutes, plus derived rates.
+type IdleResult struct {
+	Service string
+	// Timeline is cumulative wire bytes over time, anchored at the
+	// client start instant (x-axis of Fig. 1).
+	Timeline []trace.TimelinePoint
+	// LoginBytes is the traffic of the login phase.
+	LoginBytes int64
+	// IdleRateBps is the background traffic rate after login, in
+	// bits per second (Sect. 3.1: 82 b/s Dropbox ... 6 kb/s Cloud
+	// Drive).
+	IdleRateBps float64
+}
+
+// IdleWindow is Fig. 1's observation period.
+const IdleWindow = 16 * time.Minute
+
+// RunIdle executes the Fig. 1 experiment for one service: start the
+// client, let it log in and then sit idle, and watch the control
+// traffic accumulate for 16 minutes.
+func RunIdle(p client.Profile, seed int64) IdleResult {
+	tb := NewTestbed(p, seed, 0)
+	t0 := tb.Clock.Now()
+	loginDone := tb.Client.Login(t0)
+	tb.Clock.AdvanceTo(loginDone)
+	tb.Client.InstallPoller(tb.Sched)
+	end := t0.Add(IdleWindow)
+	tb.Sched.RunUntil(end)
+
+	win := tb.Cap.Window(t0, end)
+	loginWin := tb.Cap.Window(t0, loginDone)
+	idleBytes := win.TotalWireBytes(trace.AllFlows) - loginWin.TotalWireBytes(trace.AllFlows)
+	idleSecs := end.Sub(loginDone).Seconds()
+
+	return IdleResult{
+		Service:     p.Service,
+		Timeline:    win.CumulativeBytes(trace.AllFlows),
+		LoginBytes:  loginWin.TotalWireBytes(trace.AllFlows),
+		IdleRateBps: float64(idleBytes*8) / idleSecs,
+	}
+}
+
+// SYNSeries is one service's Fig. 3 dataset: cumulative TCP SYNs over
+// time while uploading a batch.
+type SYNSeries struct {
+	Service string
+	// Times are the SYN instants relative to the first file event.
+	Times []time.Duration
+	// Duration is the upload completion time for the same run.
+	Duration time.Duration
+}
+
+// RunSYNCount executes the Fig. 3 experiment: upload 100 files of
+// 10 kB and record every connection the client opens.
+func RunSYNCount(p client.Profile, batch workload.Batch, seed int64) SYNSeries {
+	tb := NewTestbed(p, seed, 0)
+	start := tb.Settle()
+	t0 := tb.Clock.Now()
+	batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
+	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+	tb.Clock.AdvanceTo(res.Done)
+
+	win := tb.Cap.Window(t0, trace.FarFuture)
+	var out SYNSeries
+	out.Service = p.Service
+	for _, ts := range win.SYNTimes(trace.AllFlows) {
+		out.Times = append(out.Times, ts.Sub(t0))
+	}
+	m := MeasureWindow(tb, t0, batch.Total())
+	out.Duration = m.Completion
+	return out
+}

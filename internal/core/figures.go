@@ -1,0 +1,143 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file regenerates every figure dataset of the paper. Each
+// function returns plottable series; cmd/figures renders them as text
+// or CSV. The bench targets in bench_test.go wrap these one-to-one.
+
+// ModKind selects where the Fig. 4 modification lands in the file.
+type ModKind int
+
+const (
+	// ModAppend adds content at the end of the file.
+	ModAppend ModKind = iota
+	// ModPrepend adds content at the beginning.
+	ModPrepend
+	// ModRandom inserts content at a random interior offset.
+	ModRandom
+)
+
+// String names the modification for reports.
+func (m ModKind) String() string {
+	switch m {
+	case ModAppend:
+		return "append"
+	case ModPrepend:
+		return "prepend"
+	default:
+		return "random"
+	}
+}
+
+// VolumePoint is one (file size, uploaded volume) point of Fig. 4 or
+// Fig. 5.
+type VolumePoint struct {
+	FileSize int64
+	Upload   int64
+}
+
+// Fig4DeltaSeries runs the delta-encoding test (Sect. 4.4) for one
+// service: for each file size, synchronize a base file, modify it by
+// inserting `added` bytes at the chosen position ("in all cases, the
+// modified file replaces its old copy"), and measure the upload volume
+// of the second synchronization.
+func Fig4DeltaSeries(p client.Profile, mod ModKind, sizes []int64, added int64, seed int64) []VolumePoint {
+	out := make([]VolumePoint, 0, len(sizes))
+	for i, size := range sizes {
+		tb := NewTestbed(p, seed+int64(i)*101, 0)
+		start := tb.Settle()
+
+		t0 := tb.Clock.Now()
+		base := workload.Generate(tb.RNG.Fork(1), workload.Binary, size)
+		tb.Folder.Create(t0, "target.bin", base)
+		res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+		tb.Clock.AdvanceTo(res.Done.Add(10 * time.Second))
+
+		t1 := tb.Clock.Now()
+		chunk := workload.Generate(tb.RNG.Fork(2), workload.Binary, added)
+		switch mod {
+		case ModAppend:
+			tb.Folder.Append(t1, "target.bin", chunk)
+		case ModPrepend:
+			tb.Folder.InsertAt(t1, "target.bin", 0, chunk)
+		default:
+			off := tb.RNG.Int63n(size)
+			tb.Folder.InsertAt(t1, "target.bin", off, chunk)
+		}
+		res = tb.Client.SyncChanges(tb.Folder, t1.Add(-time.Millisecond))
+		tb.Clock.AdvanceTo(res.Done)
+
+		win := tb.Cap.Window(t1, trace.FarFuture)
+		up := win.WireBytesDir(tb.StorageFilter(t1), trace.Upstream)
+		out = append(out, VolumePoint{FileSize: size, Upload: up})
+	}
+	return out
+}
+
+// Fig5CompressionSeries runs the compression test (Sect. 4.5) for one
+// service and file kind: upload files of increasing size and measure
+// the transmitted volume.
+func Fig5CompressionSeries(p client.Profile, kind workload.Kind, sizes []int64, seed int64) []VolumePoint {
+	out := make([]VolumePoint, 0, len(sizes))
+	for i, size := range sizes {
+		tb := NewTestbed(p, seed+int64(i)*103, 0)
+		start := tb.Settle()
+		t0 := tb.Clock.Now()
+		tb.Folder.Create(t0, "payload"+kind.Ext(),
+			workload.Generate(tb.RNG.Fork(7), kind, size))
+		res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+		tb.Clock.AdvanceTo(res.Done)
+		win := tb.Cap.Window(t0, trace.FarFuture)
+		up := win.WireBytesDir(tb.StorageFilter(t0), trace.Upstream)
+		out = append(out, VolumePoint{FileSize: size, Upload: up})
+	}
+	return out
+}
+
+// Fig4Sizes returns the paper's x-axes: up to 2 MB for the append
+// case, up to 10 MB for the random-position case ("larger files are
+// instead considered ... to highlight the combined effects with
+// chunking and deduplication").
+func Fig4Sizes(mod ModKind) []int64 {
+	if mod == ModRandom {
+		return []int64{1 << 20, 2 << 20, 4 << 20, 6 << 20, 8 << 20, 10 << 20}
+	}
+	return []int64{100 << 10, 500 << 10, 1 << 20, 1536 << 10, 2 << 20}
+}
+
+// Fig5Sizes returns the compression-test x-axis (100 kB to 2 MB).
+func Fig5Sizes() []int64 {
+	return []int64{100 << 10, 500 << 10, 1 << 20, 1536 << 10, 2 << 20}
+}
+
+// Fig6Result bundles the three panels of Fig. 6 for one service: per
+// workload, the start-up, duration and overhead summaries.
+type Fig6Result struct {
+	Service   string
+	Workloads []workload.Batch
+	Summaries []Summary
+}
+
+// Fig6ForService runs the Sect. 5 benchmark campaign (four binary
+// workloads, `reps` repetitions each) for one service.
+func Fig6ForService(p client.Profile, reps int, seed int64) Fig6Result {
+	batches := workload.StandardBenchmarks(workload.Binary)
+	out := Fig6Result{Service: p.Service, Workloads: batches}
+	for i, b := range batches {
+		out.Summaries = append(out.Summaries, RunCampaign(p, b, reps, seed+int64(i)*100003))
+	}
+	return out
+}
+
+// fig4SingleBatch is the 1x1MB convenience workload used by several
+// single-file studies.
+func fig4SingleBatch() workload.Batch {
+	return workload.Batch{Count: 1, Size: 1 << 20, Kind: workload.Binary}
+}

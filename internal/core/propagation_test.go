@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/workload"
+)
+
+func TestPropagationTwoDevices(t *testing.T) {
+	batch := workload.Batch{Count: 1, Size: 500 << 10, Kind: workload.Binary}
+
+	drop := RunPropagation(client.Dropbox(), batch, 41)
+	if drop.Upload <= 0 || drop.Download <= 0 || drop.Total <= 0 {
+		t.Fatalf("degenerate result: %+v", drop)
+	}
+	// Dropbox pushes over its long-poll notification channel: the
+	// notify latency is one round trip, far below any poll interval.
+	if drop.Notify > 2*time.Second {
+		t.Fatalf("dropbox notify latency = %v, want push-like", drop.Notify)
+	}
+
+	cd := RunPropagation(client.CloudDrive(), batch, 41)
+	// Cloud Drive polls every 15 s: notification waits for the next
+	// tick.
+	if cd.Notify <= drop.Notify || cd.Notify > 16*time.Second {
+		t.Fatalf("clouddrive notify latency = %v, want up to one 15s poll", cd.Notify)
+	}
+
+	wuala := RunPropagation(client.Wuala(), batch, 41)
+	// Wuala polls every 5 min: worst propagation of the set.
+	if wuala.Notify <= cd.Notify || wuala.Notify > 5*time.Minute+time.Second {
+		t.Fatalf("wuala notify latency = %v, want up to one 5min poll", wuala.Notify)
+	}
+	if !(wuala.Total > cd.Total && cd.Total > drop.Total) {
+		t.Fatalf("total propagation ordering broken: dropbox %v, clouddrive %v, wuala %v",
+			drop.Total, cd.Total, wuala.Total)
+	}
+}
+
+func TestPropagationDownloadVolume(t *testing.T) {
+	// The downloaded volume must track the stored (compressed)
+	// content: Dropbox stores compressed text, so B downloads less
+	// than the file size.
+	batch := workload.Batch{Count: 1, Size: 1 << 20, Kind: workload.Text}
+	r := RunPropagation(client.Dropbox(), batch, 42)
+	if r.Download <= 0 {
+		t.Fatalf("no download phase: %+v", r)
+	}
+	// And for an incompressible service the download dominates the
+	// notification round trip.
+	rb := RunPropagation(client.SkyDrive(), workload.Batch{Count: 1, Size: 4 << 20, Kind: workload.Binary}, 42)
+	if rb.Download < 2*time.Second {
+		t.Fatalf("skydrive 4MB download = %v, want seconds (3 Mb/s path)", rb.Download)
+	}
+}

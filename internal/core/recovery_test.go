@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecoveryChunkingLimitsWaste(t *testing.T) {
+	// 16 MB upload, path fails every 4 s. At ~15 Mb/s a 4 MB chunk
+	// takes ~2.2 s: chunked transfers lose at most one chunk per
+	// failure and finish; the whole 16 MB as a single object takes
+	// ~9 s and can never complete a pass.
+	const fileSize = 16 << 20
+	const every = 4 * time.Second
+
+	chunked := RunRecovery(4<<20, fileSize, every, 31)
+	if !chunked.Completed {
+		t.Fatalf("4MB-chunked upload did not complete: %+v", chunked)
+	}
+	if chunked.WasteRatio > 1.0 {
+		t.Fatalf("chunked waste ratio = %.2f, want bounded", chunked.WasteRatio)
+	}
+
+	monolithic := RunRecovery(0, fileSize, every, 31)
+	if monolithic.Completed {
+		t.Fatalf("monolithic upload should stall under 4s failures: %+v", monolithic)
+	}
+	if monolithic.Retries < 5 {
+		t.Fatalf("monolithic retries = %d, want many", monolithic.Retries)
+	}
+}
+
+func TestRecoverySmallerChunksWasteLess(t *testing.T) {
+	const fileSize = 16 << 20
+	const every = 5 * time.Second
+	small := RunRecovery(1<<20, fileSize, every, 32)
+	large := RunRecovery(8<<20, fileSize, every, 32)
+	if !small.Completed {
+		t.Fatalf("1MB chunks did not complete: %+v", small)
+	}
+	if small.WasteRatio > large.WasteRatio && large.Completed {
+		t.Fatalf("smaller chunks wasted more: 1MB %.2f vs 8MB %.2f",
+			small.WasteRatio, large.WasteRatio)
+	}
+}
+
+func TestRecoveryNoFailuresIsClean(t *testing.T) {
+	r := RunRecovery(4<<20, 8<<20, time.Hour, 33)
+	if !r.Completed || r.Retries != 0 {
+		t.Fatalf("failure-free run: %+v", r)
+	}
+	if r.WasteRatio > 0.05 {
+		t.Fatalf("failure-free waste = %.2f", r.WasteRatio)
+	}
+}
+
+func TestRecoveryChunkLabel(t *testing.T) {
+	if chunkLabel(0) != "no chunking" || chunkLabel(4<<20) != "4MB" {
+		t.Fatal("labels")
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Campaign is a complete, serializable benchmark run: what was
+// measured, from where, with what seed, and every per-experiment
+// result. The paper's closing promise — "all results and our
+// benchmarking tool will be available to the public to compare
+// results from different locations" — needs results that live past
+// the process.
+type Campaign struct {
+	Tool      string       `json:"tool"`
+	Vantage   string       `json:"vantage"`
+	Seed      int64        `json:"seed"`
+	Reps      int          `json:"reps"`
+	CreatedAt time.Time    `json:"created_at"`
+	Fig6      []Fig6Result `json:"fig6"`
+	Idle      []IdleResult `json:"idle,omitempty"`
+}
+
+// ToolVersion identifies the campaign format.
+const ToolVersion = "cloudbench-repro/1.0"
+
+// WriteJSON serializes the campaign.
+func (c Campaign) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadCampaign parses a serialized campaign.
+func ReadCampaign(r io.Reader) (Campaign, error) {
+	var c Campaign
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return Campaign{}, fmt.Errorf("core: parsing campaign: %w", err)
+	}
+	if c.Tool == "" {
+		return Campaign{}, fmt.Errorf("core: not a campaign file (no tool field)")
+	}
+	return c, nil
+}
+
+// Delta is one metric difference between two campaigns.
+type Delta struct {
+	Service  string
+	Workload string
+	Metric   string
+	A, B     float64
+	// Ratio is B/A; 1.0 means unchanged.
+	Ratio float64
+}
+
+// Compare diffs two campaigns' Fig. 6 results, returning every
+// (service, workload, metric) whose ratio leaves [1/threshold,
+// threshold]. It is the regression detector for profile or model
+// changes, and the location-comparison engine for campaigns run from
+// different vantages.
+func Compare(a, b Campaign, threshold float64) []Delta {
+	if threshold < 1 {
+		threshold = 1 / threshold
+	}
+	index := func(c Campaign) map[string]Summary {
+		m := map[string]Summary{}
+		for _, r := range c.Fig6 {
+			for i, s := range r.Summaries {
+				m[r.Service+"|"+r.Workloads[i].String()] = s
+			}
+		}
+		return m
+	}
+	ia, ib := index(a), index(b)
+	var keys []string
+	for k := range ia {
+		if _, ok := ib[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	var out []Delta
+	for _, k := range keys {
+		sa, sb := ia[k], ib[k]
+		parts := strings.SplitN(k, "|", 2)
+		check := func(metric string, va, vb float64) {
+			if va <= 0 || vb <= 0 {
+				return
+			}
+			ratio := vb / va
+			if ratio > threshold || ratio < 1/threshold {
+				out = append(out, Delta{
+					Service: parts[0], Workload: parts[1],
+					Metric: metric, A: va, B: vb, Ratio: ratio,
+				})
+			}
+		}
+		check("completion_s", sa.MeanCompletion.Seconds(), sb.MeanCompletion.Seconds())
+		check("startup_s", sa.MeanStartup.Seconds(), sb.MeanStartup.Seconds())
+		check("overhead_x", sa.MeanOverhead, sb.MeanOverhead)
+	}
+	return out
+}
+
+// DeltaReport renders comparison results.
+func DeltaReport(deltas []Delta) string {
+	if len(deltas) == 0 {
+		return "no significant differences\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s%-12s%-14s%12s%12s%9s\n",
+		"service", "workload", "metric", "A", "B", "B/A")
+	for _, d := range deltas {
+		fmt.Fprintf(&b, "%-14s%-12s%-14s%12.3f%12.3f%9.2f\n",
+			d.Service, d.Workload, d.Metric, d.A, d.B, d.Ratio)
+	}
+	return b.String()
+}
+
+// RunFullCampaign executes the Fig. 6 benchmarks plus the idle
+// measurement for every service from the given vantage, producing a
+// persistable campaign. The timestamp is virtual (the simulation's
+// epoch) so campaigns are byte-identical given a seed.
+func RunFullCampaign(vantage Vantage, reps int, seed int64) Campaign {
+	c := Campaign{
+		Tool: ToolVersion, Vantage: vantage.Name,
+		Seed: seed, Reps: reps,
+		CreatedAt: sim.Epoch,
+	}
+	for _, p := range client.Profiles() {
+		c.Fig6 = append(c.Fig6, fig6FromVantage(p, vantage, reps, seed))
+		c.Idle = append(c.Idle, RunIdle(p, seed))
+	}
+	return c
+}
+
+// fig6FromVantage is Fig6ForService with the test computer at an
+// arbitrary vantage.
+func fig6FromVantage(p client.Profile, v Vantage, reps int, seed int64) Fig6Result {
+	if reps <= 0 {
+		reps = DefaultReps
+	}
+	batches := workload.StandardBenchmarks(workload.Binary)
+	out := Fig6Result{Service: p.Service, Workloads: batches}
+	for i, b := range batches {
+		runs := make([]Metrics, 0, reps)
+		for r := 0; r < reps; r++ {
+			s := seed + int64(i)*100003 + int64(r)*7919
+			runs = append(runs, RunSyncFrom(p, b, v, s, DefaultJitter))
+		}
+		out.Summaries = append(out.Summaries, Summarize(runs))
+	}
+	return out
+}

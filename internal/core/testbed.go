@@ -1,0 +1,130 @@
+// Package core implements the paper's contribution: the methodology
+// and benchmarking tool for personal cloud storage services.
+//
+// It assembles the testbed (Sect. 2), runs the capability checks
+// (Sect. 4), the performance benchmarks (Sect. 5) and the architecture
+// discovery (Sect. 2.1/3.2), deriving every metric exclusively from
+// the packet trace — the same information boundary the paper's passive
+// sniffer had. Each figure and table of the paper maps to a function
+// here; see DESIGN.md for the experiment index.
+package core
+
+import (
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cloud"
+	"repro/internal/dnssim"
+	"repro/internal/geo"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/whois"
+	"repro/internal/workload"
+)
+
+// TwenteCoord is the testbed location: the University of Twente
+// campus, Enschede (Sect. 2.4).
+var TwenteCoord = geo.Coord{Lat: 52.24, Lon: 6.85}
+
+// Testbed is one fully assembled measurement setup for one service:
+// the synthetic Internet, the service deployment, the test computer,
+// the client under test, and the packet capture. Each benchmark
+// repetition uses a fresh testbed so that server-side state (the
+// dedup store) and client state start clean, exactly as the paper
+// resets its test accounts.
+type Testbed struct {
+	Seed    int64
+	Clock   *sim.Clock
+	Sched   *sim.Scheduler
+	Net     *netem.Network
+	DNS     *dnssim.System
+	Whois   *whois.Registry
+	Cap     *trace.Capture
+	Deploy  *cloud.Deployment
+	Client  *client.Client
+	Folder  *workload.Folder
+	RNG     *sim.RNG
+	Profile client.Profile
+}
+
+// NewTestbed builds a testbed for one of the five studied services.
+// Jitter makes RTT samples vary around their geographic base value,
+// giving the 24 repetitions realistic dispersion; pass jitter=0 for
+// exact analytic assertions in tests.
+func NewTestbed(p client.Profile, seed int64, jitter float64) *Testbed {
+	return NewTestbedFor(p, cloud.SpecFor(p.Service), seed, jitter)
+}
+
+// NewTestbedFor builds a testbed for an arbitrary profile/deployment
+// pair — the extension hook for benchmarking services beyond the five
+// in the paper ("to extend the number of tested services").
+func NewTestbedFor(p client.Profile, spec cloud.Spec, seed int64, jitter float64) *Testbed {
+	rng := sim.NewRNG(seed)
+	clock := sim.NewClock()
+	n := netem.New(clock, rng.Fork(1))
+	n.JitterFraction = jitter
+	dns := dnssim.NewSystem(rng.Fork(2))
+	reg := whois.NewRegistry()
+	deploy := cloud.Build(n, dns, reg, spec)
+	host := n.AddHost(&netem.Host{
+		Name:  "testpc.utwente.sim",
+		Addr:  "130.89.0.1",
+		Coord: TwenteCoord,
+		// 1 Gb/s campus Ethernet: "the network is not a
+		// bottleneck" — leave the client side uncapped.
+	})
+	cap := trace.NewCapture()
+	cl := client.New(client.Config{
+		Profile: p, Deploy: deploy, Net: n, Host: host,
+		Cap: cap, DNS: dns, RNG: rng.Fork(3),
+	})
+	return &Testbed{
+		Seed: seed, Clock: clock, Sched: sim.NewScheduler(clock),
+		Net: n, DNS: dns, Whois: reg, Cap: cap, Deploy: deploy,
+		Client: cl, Folder: workload.NewFolder(), RNG: rng.Fork(4),
+		Profile: p,
+	}
+}
+
+// Settle logs the client in and lets it idle briefly, so benchmark
+// traffic is cleanly separated from login traffic. It returns the
+// instant the benchmark may start.
+func (tb *Testbed) Settle() time.Time {
+	done := tb.Client.Login(tb.Clock.Now())
+	tb.Clock.AdvanceTo(done)
+	start := done.Add(30 * time.Second)
+	tb.Clock.AdvanceTo(start)
+	return start
+}
+
+// StorageFilter classifies flows for measurement. Services that split
+// control from storage are classified by DNS name (trivially, as the
+// paper notes). Wuala and the edge-terminated Google Drive use one
+// name for everything, so the filter falls back to the paper's
+// heuristic: storage flows are the connections opened after the
+// workload started (connection sequences) or carrying substantial
+// payload within the window (flow sizes).
+func (tb *Testbed) StorageFilter(winStart time.Time) trace.FlowFilter {
+	storageName := tb.Deploy.DNSName(cloud.Storage)
+	controlName := tb.Deploy.DNSName(cloud.Control)
+	if tb.Deploy.Spec.EdgeNetwork {
+		storageName = tb.Deploy.DNSName(cloud.Edge)
+		controlName = storageName
+	}
+	if storageName != controlName {
+		return func(f trace.FlowInfo) bool { return f.ServerName == storageName }
+	}
+	// Same-name service: flow sizes and connection sequences.
+	win := tb.Cap.Window(winStart, trace.FarFuture)
+	bytes := win.FlowBytes()
+	return func(f trace.FlowInfo) bool {
+		if f.ServerName != storageName {
+			return false
+		}
+		if !f.OpenedAt.Before(winStart) {
+			return true
+		}
+		return int(f.ID) < len(bytes) && bytes[f.ID] >= 30_000
+	}
+}

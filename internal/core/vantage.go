@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cloud"
+	"repro/internal/geo"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/whois"
+	"repro/internal/workload"
+
+	"repro/internal/dnssim"
+)
+
+// Vantage is a place the test computer can run from. The paper
+// benchmarks "taking the perspective of users connected from Europe"
+// (Twente) and explicitly wants "to compare results from different
+// locations" — this type is that extension point.
+type Vantage struct {
+	Name  string
+	Coord geo.Coord
+}
+
+// Twente is the paper's vantage.
+var Twente = Vantage{Name: "twente", Coord: TwenteCoord}
+
+// VantageByName resolves a vantage from a city name or IATA code in
+// the landmark database ("Seattle", "sea"), or "twente".
+func VantageByName(name string) (Vantage, bool) {
+	if strings.EqualFold(name, "twente") || name == "" {
+		return Twente, true
+	}
+	if l, ok := geo.LookupAirport(name); ok {
+		return Vantage{Name: strings.ToLower(l.City), Coord: l.Coord}, true
+	}
+	for _, l := range geo.Airports() {
+		if strings.EqualFold(l.City, name) {
+			return Vantage{Name: strings.ToLower(l.City), Coord: l.Coord}, true
+		}
+	}
+	return Vantage{}, false
+}
+
+// NewTestbedAt builds a testbed with the test computer at an
+// arbitrary vantage.
+func NewTestbedAt(p client.Profile, spec cloud.Spec, v Vantage, seed int64, jitter float64) *Testbed {
+	rng := sim.NewRNG(seed)
+	clock := sim.NewClock()
+	n := netem.New(clock, rng.Fork(1))
+	n.JitterFraction = jitter
+	dns := dnssim.NewSystem(rng.Fork(2))
+	reg := whois.NewRegistry()
+	deploy := cloud.Build(n, dns, reg, spec)
+	host := n.AddHost(&netem.Host{
+		Name:  fmt.Sprintf("testpc.%s.sim", v.Name),
+		Addr:  "198.51.100.1",
+		Coord: v.Coord,
+	})
+	cap := trace.NewCapture()
+	cl := client.New(client.Config{
+		Profile: p, Deploy: deploy, Net: n, Host: host,
+		Cap: cap, DNS: dns, RNG: rng.Fork(3),
+	})
+	return &Testbed{
+		Seed: seed, Clock: clock, Sched: sim.NewScheduler(clock),
+		Net: n, DNS: dns, Whois: reg, Cap: cap, Deploy: deploy,
+		Client: cl, Folder: workload.NewFolder(), RNG: rng.Fork(4),
+		Profile: p,
+	}
+}
+
+// RunSyncFrom is RunSync from an arbitrary vantage.
+func RunSyncFrom(p client.Profile, batch workload.Batch, v Vantage, seed int64, jitter float64) Metrics {
+	tb := NewTestbedAt(p, cloud.SpecFor(p.Service), v, seed, jitter)
+	start := tb.Settle()
+	t0 := tb.Clock.Now()
+	batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
+	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+	tb.Clock.AdvanceTo(res.Done)
+	return MeasureWindow(tb, t0, batch.Total())
+}
+
+// LocationCell is one (service, vantage) measurement of a location
+// study.
+type LocationCell struct {
+	Service string
+	Vantage string
+	Metrics Metrics
+}
+
+// LocationStudy benchmarks every service from every vantage with the
+// same workload — the comparison the paper's public-tool release was
+// meant to enable. Single repetition per cell, jitter-free (location
+// effects dwarf noise).
+func LocationStudy(batch workload.Batch, vantages []Vantage, seed int64) []LocationCell {
+	var out []LocationCell
+	for _, p := range client.Profiles() {
+		for _, v := range vantages {
+			out = append(out, LocationCell{
+				Service: p.Service,
+				Vantage: v.Name,
+				Metrics: RunSyncFrom(p, batch, v, seed, 0),
+			})
+		}
+	}
+	return out
+}
+
+// LocationReport renders a location study as a service x vantage
+// completion-time table.
+func LocationReport(cells []LocationCell, vantages []Vantage) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "service")
+	for _, v := range vantages {
+		fmt.Fprintf(&b, "%14s", v.Name)
+	}
+	b.WriteByte('\n')
+	bySvc := map[string]map[string]Metrics{}
+	var order []string
+	for _, c := range cells {
+		if bySvc[c.Service] == nil {
+			bySvc[c.Service] = map[string]Metrics{}
+			order = append(order, c.Service)
+		}
+		bySvc[c.Service][c.Vantage] = c.Metrics
+	}
+	for _, svc := range order {
+		fmt.Fprintf(&b, "%-14s", displayName(svc))
+		for _, v := range vantages {
+			fmt.Fprintf(&b, "%13.2fs", bySvc[svc][v.Name].Completion.Seconds())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

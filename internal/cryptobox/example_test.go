@@ -1,0 +1,27 @@
+package cryptobox_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/cryptobox"
+)
+
+// Example demonstrates the convergence property that keeps Wuala's
+// encryption compatible with deduplication: equal plaintexts produce
+// equal ciphertexts, without the provider ever seeing content.
+func Example() {
+	a, _ := cryptobox.Encrypt([]byte("same content"))
+	b, _ := cryptobox.Encrypt([]byte("same content"))
+	c, _ := cryptobox.Encrypt([]byte("other content"))
+
+	fmt.Println("identical plaintexts converge:", bytes.Equal(a, b))
+	fmt.Println("different plaintexts diverge: ", !bytes.Equal(a, c))
+
+	ct, key := cryptobox.Encrypt([]byte("round trip"))
+	fmt.Println("decrypts:", string(cryptobox.Decrypt(ct, key)))
+	// Output:
+	// identical plaintexts converge: true
+	// different plaintexts diverge:  true
+	// decrypts: round trip
+}

@@ -1,0 +1,105 @@
+// Package dedup implements content-addressed chunk storage and the
+// client-side deduplication protocol (Sect. 4.3).
+//
+// Clients that deduplicate (Dropbox, Wuala) hash every chunk before
+// upload and ask the server which hashes it already stores; only
+// missing chunks travel. Because the server store is content-addressed
+// and never garbage-collected during an experiment, deduplication keeps
+// working even after the user deletes and later restores a file — the
+// behaviour the paper's fourth test step verifies.
+package dedup
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Hash is the content address of a chunk.
+type Hash [sha256.Size]byte
+
+// String returns the hex form (handy in test failures).
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// HashBytes computes the content address of a chunk.
+func HashBytes(b []byte) Hash { return sha256.Sum256(b) }
+
+// HashSize is the wire size of one content address as carried in
+// deduplication manifests.
+const HashSize = sha256.Size
+
+// Store is a server-side content-addressed chunk store. The zero
+// value is not usable; call NewStore.
+type Store struct {
+	sizes map[Hash]int64
+	bytes int64
+	puts  int64
+	hits  int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{sizes: make(map[Hash]int64)}
+}
+
+// Has reports whether the store already holds content with this hash.
+func (s *Store) Has(h Hash) bool {
+	_, ok := s.sizes[h]
+	return ok
+}
+
+// Put stores a chunk and reports whether it was new. Storing an
+// already-present chunk is a no-op (and counts as a dedup hit).
+func (s *Store) Put(data []byte) (h Hash, isNew bool) {
+	h = HashBytes(data)
+	if _, ok := s.sizes[h]; ok {
+		s.hits++
+		return h, false
+	}
+	s.sizes[h] = int64(len(data))
+	s.bytes += int64(len(data))
+	s.puts++
+	return h, true
+}
+
+// Size returns the stored size of a chunk, or 0 if absent.
+func (s *Store) Size(h Hash) int64 { return s.sizes[h] }
+
+// UniqueChunks returns how many distinct chunks the store holds.
+func (s *Store) UniqueChunks() int { return len(s.sizes) }
+
+// StoredBytes returns the total bytes of unique content stored — the
+// "storage capacity" the paper's dedup capability saves.
+func (s *Store) StoredBytes() int64 { return s.bytes }
+
+// Hits returns how many Put calls were deduplicated away.
+func (s *Store) Hits() int64 { return s.hits }
+
+// Manifest is the client-side map from file path to the ordered chunk
+// hashes of its last synchronized revision. Delta encoding and rename
+// detection both start from here.
+type Manifest struct {
+	files map[string][]Hash
+}
+
+// NewManifest returns an empty manifest.
+func NewManifest() *Manifest {
+	return &Manifest{files: make(map[string][]Hash)}
+}
+
+// Set records the chunk list for a path.
+func (m *Manifest) Set(path string, hashes []Hash) {
+	cp := make([]Hash, len(hashes))
+	copy(cp, hashes)
+	m.files[path] = cp
+}
+
+// Get returns the chunk list for a path, or nil.
+func (m *Manifest) Get(path string) []Hash { return m.files[path] }
+
+// Delete forgets a path (the file was removed locally). Note that the
+// server Store keeps the chunks — exactly why deduplication still works
+// when the file comes back.
+func (m *Manifest) Delete(path string) { delete(m.files, path) }
+
+// Len returns the number of tracked paths.
+func (m *Manifest) Len() int { return len(m.files) }

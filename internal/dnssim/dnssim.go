@@ -1,0 +1,219 @@
+// Package dnssim models the DNS machinery the paper's architecture
+// discovery depends on (Sect. 2.1).
+//
+// Cloud services balance load through DNS: the set of A records a
+// client receives depends on which resolver asked. Enumerating a
+// service's front-end fleet therefore requires querying from many
+// vantage points — the paper uses more than 2,000 open resolvers in
+// over 100 countries and 500 ISPs. This package provides:
+//
+//   - per-name resolution policies (static pools, random subsets, and
+//     nearest-edge steering for the Google-like topology),
+//   - a synthetic open-resolver population with the paper's country
+//     and ISP spread,
+//   - PTR (reverse DNS) records, which may embed airport codes that
+//     the geolocator consumes.
+package dnssim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Resolver is one open DNS resolver: a location the service's
+// authoritative DNS sees queries from.
+type Resolver struct {
+	Name    string
+	Coord   geo.Coord
+	Country string
+	ISP     string
+}
+
+// Policy answers A-record queries for one DNS name.
+type Policy interface {
+	// Answer returns the IP addresses handed to a client whose
+	// query originates at `from`. rng drives any randomized
+	// rotation.
+	Answer(from geo.Coord, rng *sim.RNG) []string
+}
+
+// StaticPool returns up to K addresses from a fixed pool, rotated
+// randomly — classic round-robin DNS as used by the centralized
+// services (Dropbox, SkyDrive, Wuala, Cloud Drive).
+type StaticPool struct {
+	IPs []string
+	K   int // answers per query; 0 means all
+}
+
+// Answer implements Policy.
+func (p *StaticPool) Answer(_ geo.Coord, rng *sim.RNG) []string {
+	k := p.K
+	if k <= 0 || k >= len(p.IPs) {
+		out := make([]string, len(p.IPs))
+		copy(out, p.IPs)
+		return out
+	}
+	idx := rng.Perm(len(p.IPs))[:k]
+	sort.Ints(idx)
+	out := make([]string, 0, k)
+	for _, i := range idx {
+		out = append(out, p.IPs[i])
+	}
+	return out
+}
+
+// NearestEdge steers each query to the edge nodes closest to the
+// querying resolver — the Google Drive topology, where client TCP
+// terminates at the nearest edge of a private backbone (Sect. 3.2).
+type NearestEdge struct {
+	Edges []*netem.Host
+	K     int // how many nearby edges to return (default 1)
+}
+
+// Answer implements Policy.
+func (p *NearestEdge) Answer(from geo.Coord, _ *sim.RNG) []string {
+	k := p.K
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(p.Edges) {
+		k = len(p.Edges)
+	}
+	type cand struct {
+		ip string
+		d  float64
+	}
+	cands := make([]cand, len(p.Edges))
+	for i, e := range p.Edges {
+		cands[i] = cand{e.Addr, geo.DistanceKm(from, e.Coord)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].ip < cands[j].ip
+	})
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].ip
+	}
+	return out
+}
+
+// System is the simulated global DNS: authoritative policies per name
+// plus the PTR (reverse) zone.
+type System struct {
+	rng      *sim.RNG
+	policies map[string]Policy
+	ptr      map[string]string // ip -> reverse name
+}
+
+// NewSystem returns an empty DNS system.
+func NewSystem(rng *sim.RNG) *System {
+	return &System{
+		rng:      rng,
+		policies: make(map[string]Policy),
+		ptr:      make(map[string]string),
+	}
+}
+
+// SetPolicy installs the resolution policy for a DNS name.
+func (s *System) SetPolicy(name string, p Policy) {
+	s.policies[strings.ToLower(name)] = p
+}
+
+// SetPTR installs the reverse-DNS name for an address. Empty name
+// models hosts without PTR records.
+func (s *System) SetPTR(ip, name string) { s.ptr[ip] = name }
+
+// Names returns every name with a policy, sorted.
+func (s *System) Names() []string {
+	out := make([]string, 0, len(s.policies))
+	for n := range s.policies {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve answers an A query for name as seen from a resolver at the
+// given location. Unknown names resolve to nothing (NXDOMAIN).
+func (s *System) Resolve(name string, from geo.Coord) []string {
+	p, ok := s.policies[strings.ToLower(name)]
+	if !ok {
+		return nil
+	}
+	return p.Answer(from, s.rng)
+}
+
+// ReverseLookup returns the PTR name for an address, or "" if none.
+func (s *System) ReverseLookup(ip string) string { return s.ptr[ip] }
+
+// FanOut resolves name from every resolver in the set and returns the
+// union of addresses observed, sorted — the paper's front-end
+// enumeration step.
+func (s *System) FanOut(name string, resolvers []Resolver) []string {
+	seen := make(map[string]bool)
+	for _, r := range resolvers {
+		for _, ip := range s.Resolve(name, r.Coord) {
+			seen[ip] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for ip := range seen {
+		out = append(out, ip)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GenerateResolvers builds a synthetic open-resolver population with at
+// least the paper's spread: the requested count distributed over every
+// country in the geo capital table (112 countries), across `ispsPer`
+// distinct ISPs per country. Resolver positions jitter up to ~2 degrees
+// around the anchor city.
+func GenerateResolvers(rng *sim.RNG, count, ispsPer int) []Resolver {
+	places := geo.Capitals()
+	if ispsPer < 1 {
+		ispsPer = 1
+	}
+	out := make([]Resolver, 0, count)
+	for i := 0; i < count; i++ {
+		p := places[i%len(places)]
+		isp := (i / len(places)) % ispsPer
+		jlat := (rng.Float64() - 0.5) * 4
+		jlon := (rng.Float64() - 0.5) * 4
+		out = append(out, Resolver{
+			Name:    fmt.Sprintf("resolver%d.isp%d.%s.sim", i, isp, strings.ToLower(p.Country)),
+			Coord:   geo.Coord{Lat: clampLat(p.Coord.Lat + jlat), Lon: wrapLon(p.Coord.Lon + jlon)},
+			Country: p.Country,
+			ISP:     fmt.Sprintf("isp%d-%s", isp, strings.ToLower(p.Country)),
+		})
+	}
+	return out
+}
+
+func clampLat(l float64) float64 {
+	if l > 89 {
+		return 89
+	}
+	if l < -89 {
+		return -89
+	}
+	return l
+}
+
+func wrapLon(l float64) float64 {
+	for l > 180 {
+		l -= 360
+	}
+	for l < -180 {
+		l += 360
+	}
+	return l
+}

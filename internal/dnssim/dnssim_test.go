@@ -1,0 +1,160 @@
+package dnssim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+func TestStaticPoolAllAndSubset(t *testing.T) {
+	rng := sim.NewRNG(1)
+	p := &StaticPool{IPs: []string{"1.1.1.1", "2.2.2.2", "3.3.3.3"}}
+	if got := p.Answer(geo.Coord{}, rng); len(got) != 3 {
+		t.Fatalf("all: %v", got)
+	}
+	p.K = 2
+	got := p.Answer(geo.Coord{}, rng)
+	if len(got) != 2 {
+		t.Fatalf("subset: %v", got)
+	}
+	for _, ip := range got {
+		if ip != "1.1.1.1" && ip != "2.2.2.2" && ip != "3.3.3.3" {
+			t.Fatalf("unknown ip %q", ip)
+		}
+	}
+}
+
+func TestStaticPoolRotationCoversPool(t *testing.T) {
+	rng := sim.NewRNG(7)
+	p := &StaticPool{IPs: []string{"1.1.1.1", "2.2.2.2", "3.3.3.3", "4.4.4.4"}, K: 1}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		for _, ip := range p.Answer(geo.Coord{}, rng) {
+			seen[ip] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("rotation covered %d of 4", len(seen))
+	}
+}
+
+func TestNearestEdgeSteering(t *testing.T) {
+	ams, _ := geo.LookupAirport("AMS")
+	sin, _ := geo.LookupAirport("SIN")
+	iad, _ := geo.LookupAirport("IAD")
+	edges := []*netem.Host{
+		{Name: "edge-ams", Addr: "10.1.0.1", Coord: ams.Coord},
+		{Name: "edge-sin", Addr: "10.1.0.2", Coord: sin.Coord},
+		{Name: "edge-iad", Addr: "10.1.0.3", Coord: iad.Coord},
+	}
+	p := &NearestEdge{Edges: edges}
+	if got := p.Answer(geo.Coord{Lat: 52, Lon: 6}, nil); got[0] != "10.1.0.1" {
+		t.Fatalf("EU query -> %v, want AMS edge", got)
+	}
+	if got := p.Answer(geo.Coord{Lat: 1.3, Lon: 103}, nil); got[0] != "10.1.0.2" {
+		t.Fatalf("SG query -> %v, want SIN edge", got)
+	}
+	p.K = 2
+	if got := p.Answer(geo.Coord{Lat: 40, Lon: -75}, nil); len(got) != 2 || got[0] != "10.1.0.3" {
+		t.Fatalf("US query K=2 -> %v", got)
+	}
+	p.K = 99
+	if got := p.Answer(geo.Coord{}, nil); len(got) != 3 {
+		t.Fatalf("K clamp: %v", got)
+	}
+}
+
+func TestSystemResolveAndPTR(t *testing.T) {
+	s := NewSystem(sim.NewRNG(1))
+	s.SetPolicy("Storage.Example", &StaticPool{IPs: []string{"5.5.5.5"}})
+	s.SetPTR("5.5.5.5", "s1.iad1.example.net")
+	if got := s.Resolve("storage.example", geo.Coord{}); len(got) != 1 || got[0] != "5.5.5.5" {
+		t.Fatalf("Resolve = %v (case-insensitive names expected)", got)
+	}
+	if got := s.Resolve("nx.example", geo.Coord{}); got != nil {
+		t.Fatalf("NXDOMAIN returned %v", got)
+	}
+	if got := s.ReverseLookup("5.5.5.5"); got != "s1.iad1.example.net" {
+		t.Fatalf("PTR = %q", got)
+	}
+	if got := s.ReverseLookup("9.9.9.9"); got != "" {
+		t.Fatalf("missing PTR = %q", got)
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "storage.example" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestFanOutEnumeratesGeoPools(t *testing.T) {
+	// A nearest-edge policy hides most edges from any single
+	// resolver; only fan-out across the world reveals the fleet.
+	rng := sim.NewRNG(3)
+	var edges []*netem.Host
+	for i, a := range geo.Airports() {
+		edges = append(edges, &netem.Host{
+			Name:  "edge-" + strings.ToLower(a.Code),
+			Addr:  "10.2.0." + itoa(i),
+			Coord: a.Coord,
+		})
+	}
+	s := NewSystem(rng)
+	s.SetPolicy("clients.gdrive.sim", &NearestEdge{Edges: edges})
+
+	single := s.Resolve("clients.gdrive.sim", geo.Coord{Lat: 52, Lon: 6})
+	if len(single) != 1 {
+		t.Fatalf("single query returned %d edges", len(single))
+	}
+	resolvers := GenerateResolvers(rng, 2000, 5)
+	union := s.FanOut("clients.gdrive.sim", resolvers)
+	if len(union) < len(edges)/2 {
+		t.Fatalf("fan-out found %d of %d edges", len(union), len(edges))
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestGenerateResolversSpread(t *testing.T) {
+	rs := GenerateResolvers(sim.NewRNG(1), 2000, 5)
+	if len(rs) != 2000 {
+		t.Fatalf("count = %d", len(rs))
+	}
+	countries := map[string]bool{}
+	isps := map[string]bool{}
+	for _, r := range rs {
+		countries[r.Country] = true
+		isps[r.ISP] = true
+		if r.Coord.Lat < -90 || r.Coord.Lat > 90 || r.Coord.Lon < -180 || r.Coord.Lon > 180 {
+			t.Fatalf("resolver %s has invalid coord %v", r.Name, r.Coord)
+		}
+	}
+	// Paper: >100 countries, >500 ISPs.
+	if len(countries) <= 100 {
+		t.Fatalf("countries = %d, want > 100", len(countries))
+	}
+	if len(isps) <= 500 {
+		t.Fatalf("ISPs = %d, want > 500", len(isps))
+	}
+}
+
+func TestGenerateResolversDeterministic(t *testing.T) {
+	a := GenerateResolvers(sim.NewRNG(5), 50, 2)
+	b := GenerateResolvers(sim.NewRNG(5), 50, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("resolver generation not deterministic")
+		}
+	}
+}

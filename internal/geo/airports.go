@@ -1,0 +1,150 @@
+package geo
+
+import (
+	"math"
+	"strings"
+)
+
+// Landmark is a well-known location usable as a geolocation hint:
+// an IATA airport code with its city and coordinates. Cloud operators
+// commonly embed these codes in router and front-end hostnames
+// (e.g. "edge-iad-3.example.net" sits near Washington Dulles).
+type Landmark struct {
+	Code    string // IATA code, upper case
+	City    string
+	Country string // ISO-3166 alpha-2
+	Coord   Coord
+}
+
+// airports is the built-in landmark database. It covers the locations
+// that appear in the paper (testbed, data centers, Google edge nodes)
+// plus enough world-wide spread for resolver and vantage placement.
+var airports = []Landmark{
+	// North America
+	{"SJC", "San Jose", "US", Coord{37.36, -121.93}},
+	{"SFO", "San Francisco", "US", Coord{37.62, -122.38}},
+	{"LAX", "Los Angeles", "US", Coord{33.94, -118.41}},
+	{"SEA", "Seattle", "US", Coord{47.45, -122.31}},
+	{"PDX", "Portland", "US", Coord{45.59, -122.60}},
+	{"IAD", "Washington Dulles", "US", Coord{38.94, -77.46}},
+	{"RIC", "Richmond", "US", Coord{37.51, -77.32}},
+	{"JFK", "New York", "US", Coord{40.64, -73.78}},
+	{"ORD", "Chicago", "US", Coord{41.97, -87.91}},
+	{"DFW", "Dallas", "US", Coord{32.90, -97.04}},
+	{"ATL", "Atlanta", "US", Coord{33.64, -84.43}},
+	{"MIA", "Miami", "US", Coord{25.79, -80.29}},
+	{"DEN", "Denver", "US", Coord{39.86, -104.67}},
+	{"YYZ", "Toronto", "CA", Coord{43.68, -79.63}},
+	{"YVR", "Vancouver", "CA", Coord{49.19, -123.18}},
+	{"MEX", "Mexico City", "MX", Coord{19.44, -99.07}},
+	// Europe
+	{"AMS", "Amsterdam", "NL", Coord{52.31, 4.76}},
+	{"FRA", "Frankfurt", "DE", Coord{50.03, 8.57}},
+	{"NUE", "Nuremberg", "DE", Coord{49.50, 11.08}},
+	{"BER", "Berlin", "DE", Coord{52.36, 13.50}},
+	{"LHR", "London", "GB", Coord{51.47, -0.45}},
+	{"CDG", "Paris", "FR", Coord{49.01, 2.55}},
+	{"LIL", "Lille", "FR", Coord{50.56, 3.09}},
+	{"ZRH", "Zurich", "CH", Coord{47.46, 8.55}},
+	{"MXP", "Milan", "IT", Coord{45.63, 8.72}},
+	{"MAD", "Madrid", "ES", Coord{40.47, -3.56}},
+	{"BCN", "Barcelona", "ES", Coord{41.30, 2.08}},
+	{"ARN", "Stockholm", "SE", Coord{59.65, 17.92}},
+	{"HEL", "Helsinki", "FI", Coord{60.32, 24.96}},
+	{"DUB", "Dublin", "IE", Coord{53.42, -6.27}},
+	{"BRU", "Brussels", "BE", Coord{50.90, 4.48}},
+	{"VIE", "Vienna", "AT", Coord{48.11, 16.57}},
+	{"WAW", "Warsaw", "PL", Coord{52.17, 20.97}},
+	{"PRG", "Prague", "CZ", Coord{50.10, 14.26}},
+	{"LIS", "Lisbon", "PT", Coord{38.77, -9.13}},
+	{"ATH", "Athens", "GR", Coord{37.94, 23.94}},
+	{"IST", "Istanbul", "TR", Coord{40.98, 28.81}},
+	{"SVO", "Moscow", "RU", Coord{55.97, 37.41}},
+	// Asia-Pacific
+	{"SIN", "Singapore", "SG", Coord{1.36, 103.99}},
+	{"HKG", "Hong Kong", "HK", Coord{22.31, 113.91}},
+	{"NRT", "Tokyo", "JP", Coord{35.76, 140.39}},
+	{"ICN", "Seoul", "KR", Coord{37.46, 126.44}},
+	{"TPE", "Taipei", "TW", Coord{25.08, 121.23}},
+	{"BOM", "Mumbai", "IN", Coord{19.09, 72.87}},
+	{"DEL", "Delhi", "IN", Coord{28.57, 77.10}},
+	{"KUL", "Kuala Lumpur", "MY", Coord{2.75, 101.71}},
+	{"BKK", "Bangkok", "TH", Coord{13.69, 100.75}},
+	{"SYD", "Sydney", "AU", Coord{-33.95, 151.18}},
+	{"AKL", "Auckland", "NZ", Coord{-37.01, 174.79}},
+	// South America
+	{"GRU", "Sao Paulo", "BR", Coord{-23.44, -46.47}},
+	{"EZE", "Buenos Aires", "AR", Coord{-34.82, -58.54}},
+	{"SCL", "Santiago", "CL", Coord{-33.39, -70.79}},
+	{"BOG", "Bogota", "CO", Coord{4.70, -74.15}},
+	{"LIM", "Lima", "PE", Coord{-12.02, -77.11}},
+	// Africa & Middle East
+	{"JNB", "Johannesburg", "ZA", Coord{-26.14, 28.25}},
+	{"CAI", "Cairo", "EG", Coord{30.12, 31.41}},
+	{"LOS", "Lagos", "NG", Coord{6.58, 3.32}},
+	{"NBO", "Nairobi", "KE", Coord{-1.32, 36.93}},
+	{"TLV", "Tel Aviv", "IL", Coord{32.01, 34.89}},
+	{"DXB", "Dubai", "AE", Coord{25.25, 55.36}},
+}
+
+// byCode indexes the landmark database by IATA code.
+var byCode = func() map[string]Landmark {
+	m := make(map[string]Landmark, len(airports))
+	for _, a := range airports {
+		m[a.Code] = a
+	}
+	return m
+}()
+
+// LookupAirport returns the landmark for an IATA code (any case).
+func LookupAirport(code string) (Landmark, bool) {
+	l, ok := byCode[strings.ToUpper(code)]
+	return l, ok
+}
+
+// Airports returns a copy of the landmark database.
+func Airports() []Landmark {
+	out := make([]Landmark, len(airports))
+	copy(out, airports)
+	return out
+}
+
+// NearestAirport returns the landmark closest to c.
+func NearestAirport(c Coord) Landmark {
+	best, bestD := airports[0], math.MaxFloat64
+	for _, a := range airports {
+		if d := DistanceKm(c, a.Coord); d < bestD {
+			best, bestD = a, d
+		}
+	}
+	return best
+}
+
+// ExtractAirportCode scans a reverse-DNS hostname for an embedded IATA
+// airport code and returns the corresponding landmark. Codes are
+// recognised inside dash- or dot-separated labels, optionally followed
+// by digits, mirroring operator naming such as "r1.iad05.net.example"
+// or "edge-ams-2.example.com". Three-letter English words that happen
+// to collide with rarely-used codes are avoided by only matching codes
+// present in the landmark database.
+func ExtractAirportCode(hostname string) (Landmark, bool) {
+	host := strings.ToLower(hostname)
+	for _, label := range strings.FieldsFunc(host, func(r rune) bool {
+		return r == '.' || r == '-' || r == '_'
+	}) {
+		// Take the leading alphabetic run: "iad05" -> "iad",
+		// "sea09s01" -> "sea". A run longer than 3 letters is a
+		// word, not a code ("amsterdam" must not match "AMS").
+		run := 0
+		for run < len(label) && label[run] >= 'a' && label[run] <= 'z' {
+			run++
+		}
+		if run != 3 {
+			continue
+		}
+		if l, ok := byCode[strings.ToUpper(label[:3])]; ok {
+			return l, true
+		}
+	}
+	return Landmark{}, false
+}

@@ -1,0 +1,148 @@
+package geo
+
+// Place is a populated location used to position synthetic Internet
+// infrastructure (open DNS resolvers, vantage points). The open
+// resolver list in the paper covers "more than 100 countries and 500
+// ISPs"; this table provides the country spread.
+type Place struct {
+	Country string // ISO-3166 alpha-2
+	City    string
+	Coord   Coord
+}
+
+// capitals lists one anchor city (usually the capital) for 112
+// countries. Coordinates are approximate city centres; resolver
+// placement jitters around them.
+var capitals = []Place{
+	{"AD", "Andorra la Vella", Coord{42.51, 1.52}},
+	{"AE", "Abu Dhabi", Coord{24.47, 54.37}},
+	{"AL", "Tirana", Coord{41.33, 19.82}},
+	{"AM", "Yerevan", Coord{40.18, 44.51}},
+	{"AO", "Luanda", Coord{-8.84, 13.23}},
+	{"AR", "Buenos Aires", Coord{-34.60, -58.38}},
+	{"AT", "Vienna", Coord{48.21, 16.37}},
+	{"AU", "Canberra", Coord{-35.28, 149.13}},
+	{"AZ", "Baku", Coord{40.41, 49.87}},
+	{"BA", "Sarajevo", Coord{43.86, 18.41}},
+	{"BD", "Dhaka", Coord{23.81, 90.41}},
+	{"BE", "Brussels", Coord{50.85, 4.35}},
+	{"BG", "Sofia", Coord{42.70, 23.32}},
+	{"BH", "Manama", Coord{26.23, 50.59}},
+	{"BO", "La Paz", Coord{-16.50, -68.15}},
+	{"BR", "Brasilia", Coord{-15.79, -47.88}},
+	{"BY", "Minsk", Coord{53.90, 27.57}},
+	{"CA", "Ottawa", Coord{45.42, -75.70}},
+	{"CH", "Bern", Coord{46.95, 7.45}},
+	{"CL", "Santiago", Coord{-33.45, -70.67}},
+	{"CM", "Yaounde", Coord{3.85, 11.50}},
+	{"CN", "Beijing", Coord{39.90, 116.41}},
+	{"CO", "Bogota", Coord{4.71, -74.07}},
+	{"CR", "San Jose", Coord{9.93, -84.08}},
+	{"CY", "Nicosia", Coord{35.19, 33.38}},
+	{"CZ", "Prague", Coord{50.08, 14.44}},
+	{"DE", "Berlin", Coord{52.52, 13.40}},
+	{"DK", "Copenhagen", Coord{55.68, 12.57}},
+	{"DO", "Santo Domingo", Coord{18.49, -69.93}},
+	{"DZ", "Algiers", Coord{36.75, 3.06}},
+	{"EC", "Quito", Coord{-0.18, -78.47}},
+	{"EE", "Tallinn", Coord{59.44, 24.75}},
+	{"EG", "Cairo", Coord{30.04, 31.24}},
+	{"ES", "Madrid", Coord{40.42, -3.70}},
+	{"ET", "Addis Ababa", Coord{9.03, 38.74}},
+	{"FI", "Helsinki", Coord{60.17, 24.94}},
+	{"FR", "Paris", Coord{48.86, 2.35}},
+	{"GB", "London", Coord{51.51, -0.13}},
+	{"GE", "Tbilisi", Coord{41.72, 44.79}},
+	{"GH", "Accra", Coord{5.60, -0.19}},
+	{"GR", "Athens", Coord{37.98, 23.73}},
+	{"GT", "Guatemala City", Coord{14.63, -90.51}},
+	{"HK", "Hong Kong", Coord{22.32, 114.17}},
+	{"HN", "Tegucigalpa", Coord{14.07, -87.19}},
+	{"HR", "Zagreb", Coord{45.81, 15.98}},
+	{"HU", "Budapest", Coord{47.50, 19.04}},
+	{"ID", "Jakarta", Coord{-6.21, 106.85}},
+	{"IE", "Dublin", Coord{53.35, -6.26}},
+	{"IL", "Jerusalem", Coord{31.77, 35.21}},
+	{"IN", "New Delhi", Coord{28.61, 77.21}},
+	{"IQ", "Baghdad", Coord{33.31, 44.37}},
+	{"IR", "Tehran", Coord{35.69, 51.39}},
+	{"IS", "Reykjavik", Coord{64.15, -21.94}},
+	{"IT", "Rome", Coord{41.90, 12.50}},
+	{"JM", "Kingston", Coord{18.02, -76.80}},
+	{"JO", "Amman", Coord{31.96, 35.95}},
+	{"JP", "Tokyo", Coord{35.68, 139.69}},
+	{"KE", "Nairobi", Coord{-1.29, 36.82}},
+	{"KH", "Phnom Penh", Coord{11.56, 104.92}},
+	{"KR", "Seoul", Coord{37.57, 126.98}},
+	{"KW", "Kuwait City", Coord{29.38, 47.99}},
+	{"KZ", "Astana", Coord{51.17, 71.45}},
+	{"LB", "Beirut", Coord{33.89, 35.50}},
+	{"LK", "Colombo", Coord{6.93, 79.85}},
+	{"LT", "Vilnius", Coord{54.69, 25.28}},
+	{"LU", "Luxembourg", Coord{49.61, 6.13}},
+	{"LV", "Riga", Coord{56.95, 24.11}},
+	{"MA", "Rabat", Coord{34.02, -6.84}},
+	{"MD", "Chisinau", Coord{47.01, 28.86}},
+	{"ME", "Podgorica", Coord{42.43, 19.26}},
+	{"MK", "Skopje", Coord{41.99, 21.43}},
+	{"MM", "Naypyidaw", Coord{19.76, 96.08}},
+	{"MN", "Ulaanbaatar", Coord{47.89, 106.91}},
+	{"MT", "Valletta", Coord{35.90, 14.51}},
+	{"MX", "Mexico City", Coord{19.43, -99.13}},
+	{"MY", "Kuala Lumpur", Coord{3.14, 101.69}},
+	{"MZ", "Maputo", Coord{-25.97, 32.57}},
+	{"NG", "Abuja", Coord{9.06, 7.49}},
+	{"NI", "Managua", Coord{12.11, -86.24}},
+	{"NL", "Amsterdam", Coord{52.37, 4.90}},
+	{"NO", "Oslo", Coord{59.91, 10.75}},
+	{"NP", "Kathmandu", Coord{27.72, 85.32}},
+	{"NZ", "Wellington", Coord{-41.29, 174.78}},
+	{"OM", "Muscat", Coord{23.59, 58.41}},
+	{"PA", "Panama City", Coord{8.98, -79.52}},
+	{"PE", "Lima", Coord{-12.05, -77.04}},
+	{"PH", "Manila", Coord{14.60, 120.98}},
+	{"PK", "Islamabad", Coord{33.69, 73.06}},
+	{"PL", "Warsaw", Coord{52.23, 21.01}},
+	{"PT", "Lisbon", Coord{38.72, -9.14}},
+	{"PY", "Asuncion", Coord{-25.26, -57.58}},
+	{"QA", "Doha", Coord{25.29, 51.53}},
+	{"RO", "Bucharest", Coord{44.43, 26.10}},
+	{"RS", "Belgrade", Coord{44.79, 20.45}},
+	{"RU", "Moscow", Coord{55.76, 37.62}},
+	{"SA", "Riyadh", Coord{24.71, 46.68}},
+	{"SE", "Stockholm", Coord{59.33, 18.07}},
+	{"SG", "Singapore", Coord{1.35, 103.82}},
+	{"SI", "Ljubljana", Coord{46.06, 14.51}},
+	{"SK", "Bratislava", Coord{48.15, 17.11}},
+	{"SN", "Dakar", Coord{14.72, -17.47}},
+	{"TH", "Bangkok", Coord{13.76, 100.50}},
+	{"TN", "Tunis", Coord{36.81, 10.18}},
+	{"TR", "Ankara", Coord{39.93, 32.86}},
+	{"TW", "Taipei", Coord{25.03, 121.57}},
+	{"TZ", "Dodoma", Coord{-6.16, 35.75}},
+	{"UA", "Kyiv", Coord{50.45, 30.52}},
+	{"US", "Washington", Coord{38.91, -77.04}},
+	{"UY", "Montevideo", Coord{-34.90, -56.16}},
+	{"UZ", "Tashkent", Coord{41.30, 69.24}},
+	{"VE", "Caracas", Coord{10.48, -66.90}},
+	{"VN", "Hanoi", Coord{21.03, 105.85}},
+	{"ZA", "Pretoria", Coord{-25.75, 28.19}},
+	{"ZM", "Lusaka", Coord{-15.39, 28.32}},
+	{"ZW", "Harare", Coord{-17.83, 31.05}},
+}
+
+// Capitals returns a copy of the anchor-city table.
+func Capitals() []Place {
+	out := make([]Place, len(capitals))
+	copy(out, capitals)
+	return out
+}
+
+// NumCountries returns how many distinct countries the table covers.
+func NumCountries() int {
+	seen := make(map[string]bool, len(capitals))
+	for _, p := range capitals {
+		seen[p.Country] = true
+	}
+	return len(seen)
+}

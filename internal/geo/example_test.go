@@ -1,0 +1,40 @@
+package geo_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// ExampleLocate runs the paper's hybrid geolocation on three kinds of
+// evidence, showing the preference order: reverse-DNS airport code,
+// then traceroute landmark, then shortest RTT to a vantage point.
+func ExampleLocate() {
+	// Strongest: the operator put the location in the hostname.
+	byPTR := geo.Locate(geo.Evidence{
+		IP:         "203.0.113.1",
+		ReverseDNS: "storage-iad3-7.net.example",
+	})
+	fmt.Println(byPTR.Method, byPTR.City)
+
+	// Fallback: a locatable router on the forward path.
+	byRoute := geo.Locate(geo.Evidence{
+		IP:         "203.0.113.2",
+		ReverseDNS: "opaque.example",
+		Traceroute: []geo.Hop{{Name: "be-3-zrh4.transit.example", RTT: 9 * time.Millisecond}},
+	})
+	fmt.Println(byRoute.Method, byRoute.City)
+
+	// Last resort: the closest vantage point by measured RTT.
+	ams, _ := geo.LookupAirport("AMS")
+	byRTT := geo.Locate(geo.Evidence{
+		IP:       "203.0.113.3",
+		Vantages: []geo.VantageRTT{{Name: "v-ams", Coord: ams.Coord, RTT: 3 * time.Millisecond}},
+	})
+	fmt.Println(byRTT.Method, byRTT.City)
+	// Output:
+	// reverse-dns Washington Dulles
+	// traceroute Zurich
+	// shortest-rtt Amsterdam
+}

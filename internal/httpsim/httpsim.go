@@ -1,0 +1,97 @@
+// Package httpsim layers HTTP/HTTPS message exchange on top of the
+// tcpsim transport model.
+//
+// All five services in the paper speak HTTPS (with two deliberate
+// exceptions: Dropbox's plain-HTTP notification channel and some Wuala
+// storage operations, already client-side encrypted). What the paper's
+// measurements see of HTTP is its cost profile: per-request header
+// bytes, per-connection handshakes, and request/response round trips.
+// That is exactly what this package models; there is no URL routing or
+// header parsing because no measurement depends on it.
+package httpsim
+
+import (
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/tcpsim"
+)
+
+// Profile sets the per-message costs of a service's HTTP dialect.
+type Profile struct {
+	TLS tcpsim.TLSConfig
+	// ReqHeaderBytes is the size of request line + headers + cookies.
+	ReqHeaderBytes int64
+	// RespHeaderBytes is the size of status line + headers.
+	RespHeaderBytes int64
+}
+
+// DefaultProfile approximates the header volume observed for the
+// services under study (cookies and API tokens included).
+var DefaultProfile = Profile{
+	TLS:             tcpsim.DefaultTLS,
+	ReqHeaderBytes:  600,
+	RespHeaderBytes: 350,
+}
+
+// Client issues HTTP exchanges from one test computer.
+type Client struct {
+	Dialer  *tcpsim.Dialer
+	Profile Profile
+}
+
+// NewClient returns an HTTP client over the given dialer.
+func NewClient(d *tcpsim.Dialer, p Profile) *Client {
+	return &Client{Dialer: d, Profile: p}
+}
+
+// Session is a persistent HTTP connection ("keep-alive"): services that
+// reuse TCP connections (Dropbox, SkyDrive, Wuala) run all their
+// exchanges over few sessions, while Google Drive and Cloud Drive pay a
+// fresh TCP+TLS handshake per file (Sect. 4.2).
+type Session struct {
+	client *Client
+	conn   *tcpsim.Conn
+}
+
+// Open establishes a session to server at virtual instant `at`.
+func (c *Client) Open(server *netem.Host, serverName string, at time.Time) *Session {
+	conn := c.Dialer.Dial(server, serverName, at, c.Profile.TLS)
+	return &Session{client: c, conn: conn}
+}
+
+// Conn exposes the underlying transport connection.
+func (s *Session) Conn() *tcpsim.Conn { return s.conn }
+
+// Do performs one request/response exchange with the given body sizes
+// and returns when the client holds the complete response.
+func (s *Session) Do(reqBody, respBody int64) time.Time {
+	p := s.client.Profile
+	return s.conn.RequestResponse(p.ReqHeaderBytes+reqBody, p.RespHeaderBytes+respBody)
+}
+
+// Upload performs a request carrying body upload bytes and returns both
+// the instant the last byte left the client (lastSent — the trace event
+// that ends the paper's completion-time metric) and the instant the
+// client received the server's acknowledgment response (acked — when
+// the application may proceed to the next step).
+func (s *Session) Upload(body int64, respBody int64) (lastSent, acked time.Time) {
+	p := s.client.Profile
+	last, serverDone := s.conn.Send(p.ReqHeaderBytes + body)
+	acked = s.conn.Recv(serverDone, p.RespHeaderBytes+respBody)
+	return last, acked
+}
+
+// Close tears the session down.
+func (s *Session) Close() time.Time { return s.conn.Close() }
+
+// DoOnce opens a fresh connection, performs a single exchange, and
+// closes it. It models Cloud Drive's pathological polling (a new HTTPS
+// connection every 15 s, Fig. 1) and the per-file connection strategy.
+// It returns the response-complete instant.
+func (c *Client) DoOnce(server *netem.Host, serverName string, at time.Time, reqBody, respBody int64) time.Time {
+	s := c.Open(server, serverName, at)
+	done := s.Do(reqBody, respBody)
+	s.Close()
+	return done
+}

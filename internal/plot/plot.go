@@ -1,0 +1,216 @@
+// Package plot renders simple ASCII charts for the benchmark CLI:
+// line/step charts for the time-series figures (Figs. 1 and 3) and
+// grouped bar charts for the benchmark panels (Fig. 6). The paper's
+// figures are gnuplot artifacts; a terminal tool wants to show the
+// same shapes inline.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Options controls chart geometry.
+type Options struct {
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	Title  string
+	XLabel string
+	YLabel string
+	LogY   bool // log10 y-axis (Fig. 6b/6c style)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+// seriesMarks assigns one mark per curve.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+
+// Lines renders curves on a character grid. X ranges are shared; each
+// point is plotted at its nearest cell, and consecutive points of a
+// series are connected by horizontal interpolation, giving a readable
+// step/line look.
+func Lines(series []Series, opt Options) string {
+	opt = opt.withDefaults()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if opt.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(opt.Width-1))
+		return clamp(c, 0, opt.Width-1)
+	}
+	row := func(y float64) int {
+		if opt.LogY {
+			y = math.Log10(y)
+		}
+		r := int((y - minY) / (maxY - minY) * float64(opt.Height-1))
+		return clamp(opt.Height-1-r, 0, opt.Height-1)
+	}
+
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		prevC, prevR := -1, -1
+		for i := range s.X {
+			if opt.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			c, r := col(s.X[i]), row(s.Y[i])
+			grid[r][c] = mark
+			// Connect horizontally from the previous point at its
+			// row, which reads as a step function.
+			if prevC >= 0 && c > prevC+1 {
+				for cc := prevC + 1; cc < c; cc++ {
+					if grid[prevR][cc] == ' ' {
+						grid[prevR][cc] = '.'
+					}
+				}
+			}
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	yLo, yHi := minY, maxY
+	if opt.LogY {
+		yLo, yHi = math.Pow(10, minY), math.Pow(10, maxY)
+	}
+	for r := 0; r < opt.Height; r++ {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", yHi)
+		case opt.Height - 1:
+			label = fmt.Sprintf("%8.3g", yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&b, "%s  %-10.3g%*s\n", strings.Repeat(" ", 8), minX, opt.Width-10, fmt.Sprintf("%.3g", maxX))
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s%s\n", strings.Repeat(" ", 8), opt.XLabel, opt.YLabel, logSuffix(opt))
+	}
+	for i, s := range series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", 8), seriesMarks[i%len(seriesMarks)], s.Label)
+	}
+	return b.String()
+}
+
+func logSuffix(opt Options) string {
+	if opt.LogY {
+		return " (log scale)"
+	}
+	return ""
+}
+
+// BarGroup is one x-axis cluster of a grouped bar chart (one Fig. 6
+// workload with one bar per service).
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// Bars renders a grouped horizontal bar chart: one block per group,
+// one bar per series, scaled to the global maximum (or its log).
+func Bars(groups []BarGroup, seriesLabels []string, opt Options) string {
+	opt = opt.withDefaults()
+	maxV := math.Inf(-1)
+	minPos := math.Inf(1)
+	for _, g := range groups {
+		for _, v := range g.Values {
+			maxV = math.Max(maxV, v)
+			if v > 0 {
+				minPos = math.Min(minPos, v)
+			}
+		}
+	}
+	if math.IsInf(maxV, -1) || maxV <= 0 {
+		return "(no data)\n"
+	}
+
+	scale := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		if opt.LogY {
+			lo, hi := math.Log10(minPos), math.Log10(maxV)
+			if hi == lo {
+				return opt.Width
+			}
+			return clamp(int((math.Log10(v)-lo)/(hi-lo)*float64(opt.Width-1))+1, 1, opt.Width)
+		}
+		return clamp(int(v/maxV*float64(opt.Width)), 1, opt.Width)
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s%s\n", opt.Title, logSuffix(opt))
+	}
+	for _, g := range groups {
+		fmt.Fprintf(&b, "%s\n", g.Label)
+		for i, v := range g.Values {
+			name := ""
+			if i < len(seriesLabels) {
+				name = seriesLabels[i]
+			}
+			fmt.Fprintf(&b, "  %-13s|%s %.3g\n", name, strings.Repeat("=", scale(v)), v)
+		}
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

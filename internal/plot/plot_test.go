@@ -1,0 +1,106 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	out := Lines([]Series{
+		{Label: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Label: "flat", X: []float64{0, 3}, Y: []float64{1, 1}},
+	}, Options{Width: 20, Height: 8, Title: "test", XLabel: "t", YLabel: "v"})
+
+	if !strings.Contains(out, "test") || !strings.Contains(out, "x: t") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	for _, mark := range []string{"*", "+"} {
+		if !strings.Contains(out, mark) {
+			t.Fatalf("mark %q missing:\n%s", mark, out)
+		}
+	}
+	// Monotone series: '*' in the top row (max) and bottom row (min).
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("max point not in top row:\n%s", out)
+	}
+}
+
+func TestLinesEmptyAndDegenerate(t *testing.T) {
+	if out := Lines(nil, Options{}); !strings.Contains(out, "no data") {
+		t.Fatalf("empty: %q", out)
+	}
+	// Single point must not divide by zero.
+	out := Lines([]Series{{Label: "p", X: []float64{5}, Y: []float64{7}}}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point:\n%s", out)
+	}
+}
+
+func TestLinesLogYSkipsNonPositive(t *testing.T) {
+	out := Lines([]Series{
+		{Label: "l", X: []float64{0, 1, 2}, Y: []float64{0, 1, 100}},
+	}, Options{Width: 20, Height: 8, LogY: true})
+	if !strings.Contains(out, "log scale") && !strings.Contains(out, "*") {
+		t.Fatalf("log plot:\n%s", out)
+	}
+}
+
+func TestBarsGrouped(t *testing.T) {
+	groups := []BarGroup{
+		{Label: "1x100kB", Values: []float64{1, 4}},
+		{Label: "100x10kB", Values: []float64{8, 64}},
+	}
+	out := Bars(groups, []string{"dropbox", "clouddrive"}, Options{Width: 32, Title: "Fig 6b"})
+	if !strings.Contains(out, "Fig 6b") || !strings.Contains(out, "dropbox") {
+		t.Fatalf("bars output:\n%s", out)
+	}
+	// The 64 bar must be the longest.
+	var longest, longestLen int
+	for i, line := range strings.Split(out, "\n") {
+		if n := strings.Count(line, "="); n > longestLen {
+			longest, longestLen = i, n
+		}
+	}
+	if !strings.Contains(strings.Split(out, "\n")[longest], "64") {
+		t.Fatalf("longest bar is not the max value:\n%s", out)
+	}
+}
+
+func TestBarsLogScaleOrdering(t *testing.T) {
+	groups := []BarGroup{{Label: "w", Values: []float64{0.1, 1, 10, 100}}}
+	out := Bars(groups, []string{"a", "b", "c", "d"}, Options{Width: 30, LogY: true})
+	lens := []int{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") {
+			lens = append(lens, strings.Count(line, "="))
+		}
+	}
+	if len(lens) != 4 {
+		t.Fatalf("bars = %d:\n%s", len(lens), out)
+	}
+	for i := 1; i < len(lens); i++ {
+		if lens[i] <= lens[i-1] {
+			t.Fatalf("log bars not increasing: %v\n%s", lens, out)
+		}
+	}
+	// Log scale compresses: the 1000x value span stays drawable.
+	if lens[3] > 30 {
+		t.Fatalf("bar overflow: %v", lens)
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	if out := Bars(nil, nil, Options{}); !strings.Contains(out, "no data") {
+		t.Fatalf("empty bars: %q", out)
+	}
+	if out := Bars([]BarGroup{{Label: "z", Values: []float64{0}}}, []string{"s"}, Options{}); !strings.Contains(out, "no data") {
+		t.Fatalf("all-zero bars: %q", out)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 3) != 3 || clamp(-1, 0, 3) != 0 || clamp(2, 0, 3) != 2 {
+		t.Fatal("clamp")
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import "math/rand"
+
+// RNG is a deterministic random source for the simulation. It wraps
+// math/rand with a fixed seed so that a given experiment configuration
+// reproduces identical file contents, jitter and DNS shuffles.
+//
+// Repetitions of an experiment derive child RNGs via Fork, which mixes
+// the repetition index into the seed stream: each repetition sees
+// different randomness, but the whole campaign is still a pure function
+// of the top-level seed.
+type RNG struct {
+	*rand.Rand
+	seed int64
+}
+
+// NewRNG returns a deterministic source for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed this source was created with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Fork derives an independent child source. The derivation is a simple
+// SplitMix-style hash of (parent seed, label) so children do not overlap
+// with the parent stream.
+func (r *RNG) Fork(label int64) *RNG {
+	z := uint64(r.seed) + 0x9e3779b97f4a7c15*uint64(label+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return NewRNG(int64(z))
+}
+
+// Jitter returns a duration uniformly distributed in [base-spread/2,
+// base+spread/2], never below zero. It models measurement noise such as
+// scheduling delay in the test computer.
+func (r *RNG) Jitter(base, spread int64) int64 {
+	if spread <= 0 {
+		return base
+	}
+	v := base - spread/2 + r.Int63n(spread)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Bytes fills and returns a new buffer of n random bytes.
+func (r *RNG) Bytes(n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}

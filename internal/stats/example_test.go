@@ -1,0 +1,21 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExamplePercentile summarizes a set of completion times the way the
+// benchmark reports do.
+func ExamplePercentile() {
+	seconds := []float64{1.1, 1.2, 1.2, 1.3, 1.4, 1.5, 1.9, 4.0}
+	fmt.Printf("median %.2f\n", stats.Median(seconds))
+	fmt.Printf("p95    %.2f\n", stats.Percentile(seconds, 95))
+	mean, hw := stats.MeanCI95(seconds)
+	fmt.Printf("mean   %.2f +/- %.2f\n", mean, hw)
+	// Output:
+	// median 1.35
+	// p95    3.26
+	// mean   1.70 +/- 0.62
+}

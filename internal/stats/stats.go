@@ -1,0 +1,107 @@
+// Package stats provides the small statistical toolkit behind the
+// benchmark summaries: means, dispersion, order statistics and a
+// normal-approximation confidence interval for the mean. The paper
+// reports averages over 24 repetitions; a reproduction should also
+// expose how tight those averages are.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Std returns the population standard deviation (0 for n < 2).
+func Std(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// Median returns the 50th percentile.
+func Median(v []float64) float64 { return Percentile(v, 50) }
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between order statistics. Empty input yields 0; p is
+// clamped to [0, 100].
+func Percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s := make([]float64, len(v))
+	copy(s, v)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MeanCI95 returns the mean and the half-width of its 95% confidence
+// interval under the normal approximation (1.96 sigma/sqrt(n)).
+// For n < 2 the half-width is 0.
+func MeanCI95(v []float64) (mean, halfWidth float64) {
+	mean = Mean(v)
+	if len(v) < 2 {
+		return mean, 0
+	}
+	return mean, 1.96 * Std(v) / math.Sqrt(float64(len(v)))
+}
+
+// MinMax returns the extremes (0, 0 for empty input).
+func MinMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// CV returns the coefficient of variation (std/mean); 0 when the mean
+// is 0. The chunking detector uses it to separate fixed-size from
+// content-defined chunking.
+func CV(v []float64) float64 {
+	m := Mean(v)
+	if m == 0 {
+		return 0
+	}
+	return Std(v) / m
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanStdKnown(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !approx(Mean(v), 5, 1e-12) {
+		t.Fatalf("mean = %v", Mean(v))
+	}
+	if !approx(Std(v), 2, 1e-12) {
+		t.Fatalf("std = %v", Std(v))
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 || Median(nil) != 0 || CV(nil) != 0 {
+		t.Fatal("empty inputs must be zero")
+	}
+	if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
+		t.Fatal("empty MinMax")
+	}
+	one := []float64{42}
+	if Mean(one) != 42 || Std(one) != 0 || Median(one) != 42 || Percentile(one, 99) != 42 {
+		t.Fatal("singleton")
+	}
+	if m, hw := MeanCI95(one); m != 42 || hw != 0 {
+		t.Fatal("singleton CI")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	v := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {200, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(v, c.p); !approx(got, c.want, 1e-9) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Percentile(v, 50)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestMeanCI95ShrinksWithN(t *testing.T) {
+	rng := sim.NewRNG(1)
+	sample := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return v
+	}
+	_, hwSmall := MeanCI95(sample(10))
+	_, hwLarge := MeanCI95(sample(1000))
+	if hwLarge >= hwSmall {
+		t.Fatalf("CI did not shrink: %v -> %v", hwSmall, hwLarge)
+	}
+}
+
+func TestOrderInvariance(t *testing.T) {
+	rng := sim.NewRNG(2)
+	f := func(n uint8) bool {
+		v := make([]float64, int(n)+2)
+		for i := range v {
+			v[i] = rng.Float64() * 100
+		}
+		shuffled := make([]float64, len(v))
+		copy(shuffled, v)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return approx(Mean(v), Mean(shuffled), 1e-9) &&
+			approx(Std(v), Std(shuffled), 1e-9) &&
+			approx(Median(v), Median(shuffled), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	rng := sim.NewRNG(3)
+	f := func(n uint8, p uint8) bool {
+		v := make([]float64, int(n)+1)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		lo, hi := MinMax(v)
+		got := Percentile(v, float64(p%100))
+		return got >= lo-1e-12 && got <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCV(t *testing.T) {
+	if got := CV([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("constant CV = %v", got)
+	}
+	if CV([]float64{1, 100}) <= CV([]float64{50, 51}) {
+		t.Fatal("CV ordering")
+	}
+}

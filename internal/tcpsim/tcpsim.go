@@ -1,0 +1,381 @@
+// Package tcpsim provides an analytic per-connection TCP/TLS model that
+// emits packet records into a trace.Capture.
+//
+// The model reproduces the transport mechanisms that dominate the
+// paper's results:
+//
+//   - the 3-way handshake (1 RTT before the first byte),
+//   - the TLS negotiation (2 further RTTs plus certificate bytes for a
+//     full handshake — the cost that cripples services opening a fresh
+//     TCP+SSL connection per file, Sect. 4.2/5.2),
+//   - slow start (congestion window doubling each RTT from a 10-segment
+//     initial window until the path rate is reached), which governs
+//     short-transfer completion times (Fig. 6b),
+//   - per-segment header and delayed-ACK overhead (Fig. 6c),
+//   - application-layer waits (per-chunk commits, per-file
+//     acknowledgments) that show up as upload pauses and bursts.
+//
+// Connections keep their own virtual timeline; all emitted packets are
+// timestamped on that timeline and merged in time order by the capture.
+package tcpsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/trace"
+)
+
+// Transport-level constants. MSS assumes Ethernet without jumbo
+// frames; the 66-byte overhead is Ethernet+IPv4+TCP with timestamps.
+const (
+	MSS           = 1460
+	HeaderPerSeg  = 66
+	initCwndSegs  = 10
+	ackEveryOther = 2 // delayed ACK: one pure ACK per two segments
+)
+
+// TLSConfig describes the TLS behaviour of a connection.
+type TLSConfig struct {
+	// Enabled selects HTTPS-style connections. Disabled models the
+	// plain-HTTP flows the paper observed (Dropbox notifications,
+	// some Wuala storage operations).
+	Enabled bool
+	// CertBytes is the server certificate chain size transferred
+	// during a full handshake.
+	CertBytes int64
+	// RecordOverheadPct inflates application payload by this
+	// percentage to account for TLS record framing and MAC.
+	RecordOverheadPct float64
+}
+
+// DefaultTLS is the HTTPS profile used by all services in the paper.
+var DefaultTLS = TLSConfig{Enabled: true, CertBytes: 3800, RecordOverheadPct: 2.0}
+
+// PlainTCP disables TLS.
+var PlainTCP = TLSConfig{}
+
+// Dialer opens simulated connections from a fixed client host and
+// records their packets into a capture.
+type Dialer struct {
+	Net    *netem.Network
+	Cap    *trace.Capture
+	Client *netem.Host
+
+	nextPort int
+}
+
+// NewDialer returns a dialer for the given client host.
+func NewDialer(n *netem.Network, cap *trace.Capture, client *netem.Host) *Dialer {
+	return &Dialer{Net: n, Cap: cap, Client: client, nextPort: 40000}
+}
+
+// Conn is one simulated TCP (optionally TLS) connection.
+type Conn struct {
+	d          *Dialer
+	flow       trace.FlowID
+	server     *netem.Host
+	serverName string
+	tls        TLSConfig
+
+	rtt     time.Duration // sampled at dial time, fixed for the connection
+	rateBps int64         // path bottleneck rate
+
+	established time.Time
+	now         time.Time // connection-local timeline: when the conn is next free
+	upCwnd      int64     // bytes, client->server congestion window
+	downCwnd    int64     // bytes, server->client congestion window
+	closed      bool
+
+	bytesUp, bytesDown int64 // application payload totals
+}
+
+// Dial opens a connection to server at virtual instant `at`, performing
+// the TCP handshake and, if configured, the TLS negotiation. The
+// returned connection's timeline starts when the handshake completes.
+// serverName is the DNS name the client resolved; it is stored on the
+// flow record exactly as the paper's sniffer associates DNS names with
+// flows.
+func (d *Dialer) Dial(server *netem.Host, serverName string, at time.Time, tls TLSConfig) *Conn {
+	port := d.nextPort
+	d.nextPort++
+	key := trace.FlowKey{
+		ClientAddr: d.Client.Addr, ClientPort: port,
+		ServerAddr: server.Addr, ServerPort: 443, Proto: trace.TCP,
+	}
+	if !tls.Enabled {
+		key.ServerPort = 80
+	}
+	flow := d.Cap.OpenFlow(key, serverName, at)
+	c := &Conn{
+		d: d, flow: flow, server: server, serverName: serverName, tls: tls,
+		rtt:      d.Net.SampleRTT(d.Client, server),
+		rateBps:  d.Net.PathRateBps(d.Client, server),
+		upCwnd:   initCwndSegs * MSS,
+		downCwnd: initCwndSegs * MSS,
+	}
+
+	// TCP 3-way handshake: SYN up, SYN-ACK down, ACK up (no payload).
+	c.record(at, trace.Upstream, trace.Flags{SYN: true}, 0, 74, 1, 0)
+	c.record(at.Add(c.rtt), trace.Downstream, trace.Flags{SYN: true, ACK: true}, 0, 74, 1, 0)
+	c.record(at.Add(c.rtt), trace.Upstream, trace.Flags{ACK: true}, 0, 66, 1, 0)
+	t := at.Add(c.rtt)
+
+	if tls.Enabled {
+		// Full TLS handshake, 2 RTTs: ClientHello / ServerHello+
+		// Certificate / ClientKeyExchange+Finished / Finished.
+		c.record(t, trace.Upstream, trace.Flags{ACK: true}, 220, 220+HeaderPerSeg, 1, 0)
+		segs := segments(tls.CertBytes)
+		c.record(t.Add(c.rtt), trace.Downstream, trace.Flags{ACK: true},
+			tls.CertBytes, tls.CertBytes+int64(segs)*HeaderPerSeg, segs, ackWire(segs))
+		c.record(t.Add(c.rtt), trace.Upstream, trace.Flags{ACK: true}, 330, 330+HeaderPerSeg, 1, 0)
+		c.record(t.Add(2*c.rtt), trace.Downstream, trace.Flags{ACK: true}, 60, 60+HeaderPerSeg, 1, 0)
+		t = t.Add(2 * c.rtt)
+	}
+
+	c.established = t
+	c.now = t
+	return c
+}
+
+// RTT returns the connection's sampled round-trip time.
+func (c *Conn) RTT() time.Duration { return c.rtt }
+
+// EstablishedAt returns when the handshake (incl. TLS) completed.
+func (c *Conn) EstablishedAt() time.Time { return c.established }
+
+// FreeAt returns the connection-local current time: the earliest
+// instant a new operation can start.
+func (c *Conn) FreeAt() time.Time { return c.now }
+
+// Flow returns the trace flow ID of this connection.
+func (c *Conn) Flow() trace.FlowID { return c.flow }
+
+// Server returns the host this connection talks to.
+func (c *Conn) Server() *netem.Host { return c.server }
+
+// ServerName returns the DNS name the client dialed.
+func (c *Conn) ServerName() string { return c.serverName }
+
+// BytesUp and BytesDown report application payload carried so far.
+func (c *Conn) BytesUp() int64   { return c.bytesUp }
+func (c *Conn) BytesDown() int64 { return c.bytesDown }
+
+// Wait advances the connection timeline to at least t. It models
+// application-level thinking time (e.g. a client waiting for a commit
+// acknowledgment on another connection).
+func (c *Conn) Wait(t time.Time) {
+	if t.After(c.now) {
+		c.now = t
+	}
+}
+
+// Idle advances the connection timeline by d from its current instant.
+func (c *Conn) Idle(d time.Duration) { c.now = c.now.Add(d) }
+
+// Send transmits n application bytes upstream starting no earlier than
+// the connection's current instant. It returns the instant the last
+// byte leaves the client (lastSent) and the instant the server has
+// received and processed all of it (serverDone, which includes rtt/2
+// propagation and the server's processing delay). The connection
+// timeline advances to lastSent; callers that need the server response
+// use serverDone (see RequestResponse).
+func (c *Conn) Send(n int64) (lastSent, serverDone time.Time) {
+	last := c.transfer(trace.Upstream, n)
+	c.bytesUp += n
+	c.now = last
+	return last, last.Add(c.rtt / 2).Add(c.server.ProcDelay)
+}
+
+// Recv makes the server transmit n application bytes downstream,
+// starting after serverStart (in server-local terms the request arrival
+// plus processing). It returns when the client has received everything,
+// and advances the connection timeline to that instant.
+func (c *Conn) Recv(serverStart time.Time, n int64) (clientDone time.Time) {
+	c.Wait(serverStart)
+	last := c.transfer(trace.Downstream, n)
+	c.bytesDown += n
+	done := last.Add(c.rtt / 2)
+	c.now = done
+	return done
+}
+
+// RequestResponse models one application request/response exchange:
+// send reqBytes up, server processes, server sends respBytes down.
+// It returns when the client holds the full response.
+func (c *Conn) RequestResponse(reqBytes, respBytes int64) time.Time {
+	_, serverDone := c.Send(reqBytes)
+	return c.Recv(serverDone, respBytes)
+}
+
+// Close performs the FIN exchange and returns when it completes. The
+// trace records it, but the paper's metrics explicitly ignore
+// tear-down time.
+func (c *Conn) Close() time.Time {
+	if c.closed {
+		return c.now
+	}
+	c.closed = true
+	c.record(c.now, trace.Upstream, trace.Flags{FIN: true, ACK: true}, 0, 66, 1, 0)
+	c.record(c.now.Add(c.rtt), trace.Downstream, trace.Flags{FIN: true, ACK: true}, 0, 66, 1, 0)
+	c.now = c.now.Add(c.rtt)
+	return c.now
+}
+
+// transfer simulates moving n application bytes in one direction with
+// slow start and a path-rate cap, emitting aggregated packet records.
+// It returns the instant the last byte is put on the wire by the
+// sender; for upstream that is client time, for downstream server time
+// (callers add rtt/2 for delivery).
+func (c *Conn) transfer(dir trace.Direction, n int64) time.Time {
+	if n < 0 {
+		panic(fmt.Sprintf("tcpsim: negative transfer %d", n))
+	}
+	if n == 0 {
+		return c.now
+	}
+	// TLS record framing inflates what TCP actually carries.
+	wireApp := n
+	if c.tls.Enabled && c.tls.RecordOverheadPct > 0 {
+		wireApp = n + int64(float64(n)*c.tls.RecordOverheadPct/100)
+	}
+
+	cwnd := c.upCwnd
+	if dir == trace.Downstream {
+		cwnd = c.downCwnd
+	}
+
+	// Bandwidth-delay product: once cwnd reaches it, the sender is
+	// rate-limited and transmits continuously.
+	var bdp int64
+	if c.rateBps > 0 {
+		bdp = int64(float64(c.rateBps) / 8 * c.rtt.Seconds())
+		if bdp < MSS {
+			bdp = MSS
+		}
+	}
+
+	t := c.now
+	remaining := wireApp
+	for remaining > 0 {
+		if bdp > 0 && cwnd >= bdp {
+			// Rate-limited phase: emit records in bdp-sized
+			// slices so the trace has realistic granularity.
+			slice := bdp
+			if slice > remaining {
+				slice = remaining
+			}
+			ser := time.Duration(float64(slice*8) / float64(c.rateBps) * float64(time.Second))
+			c.emitData(t, dir, slice)
+			t = t.Add(ser)
+			remaining -= slice
+			if c.lossEvent(slice) {
+				// Fast retransmit: one extra RTT, window
+				// halves, the lost segment travels again.
+				t = t.Add(c.rtt)
+				c.emitRetransmit(t, dir)
+				cwnd /= 2
+				if cwnd < 2*MSS {
+					cwnd = 2 * MSS
+				}
+			}
+			continue
+		}
+		// Slow-start phase: one cwnd-sized burst per RTT.
+		burst := cwnd
+		if burst > remaining {
+			burst = remaining
+		}
+		c.emitData(t, dir, burst)
+		remaining -= burst
+		if remaining > 0 {
+			// Wait for the ACK clock before the next round.
+			round := c.rtt
+			if c.rateBps > 0 {
+				ser := time.Duration(float64(burst*8) / float64(c.rateBps) * float64(time.Second))
+				if ser > round {
+					round = ser
+				}
+			}
+			t = t.Add(round)
+		} else {
+			// Last burst: the final byte leaves after its own
+			// serialization time.
+			if c.rateBps > 0 {
+				t = t.Add(time.Duration(float64(burst*8) / float64(c.rateBps) * float64(time.Second)))
+			}
+		}
+		if c.lossEvent(burst) {
+			t = t.Add(c.rtt)
+			c.emitRetransmit(t, dir)
+			cwnd /= 2
+			if cwnd < 2*MSS {
+				cwnd = 2 * MSS
+			}
+		} else {
+			cwnd *= 2
+		}
+		if bdp > 0 && cwnd > bdp {
+			cwnd = bdp
+		}
+	}
+
+	if dir == trace.Upstream {
+		c.upCwnd = cwnd
+	} else {
+		c.downCwnd = cwnd
+	}
+	return t
+}
+
+// lossEvent reports whether a burst of n bytes suffered at least one
+// segment loss, per the network's loss rate.
+func (c *Conn) lossEvent(n int64) bool {
+	p := c.d.Net.LossRate
+	if p <= 0 {
+		return false
+	}
+	segs := segments(n)
+	// P(at least one loss) = 1 - (1-p)^segs.
+	keep := 1.0
+	for i := 0; i < segs && keep > 1e-9; i++ {
+		keep *= 1 - p
+	}
+	return c.d.Net.RNG().Float64() >= keep
+}
+
+// emitRetransmit records one retransmitted segment: wire bytes with
+// no new application payload, so loss inflates overhead but never
+// byte conservation.
+func (c *Conn) emitRetransmit(t time.Time, dir trace.Direction) {
+	c.record(t, dir, trace.Flags{ACK: true}, 0, MSS+HeaderPerSeg, 1, HeaderPerSeg)
+}
+
+// emitData records one aggregated data record of n application bytes.
+func (c *Conn) emitData(t time.Time, dir trace.Direction, n int64) {
+	segs := segments(n)
+	c.record(t, dir, trace.Flags{ACK: true}, n, n+int64(segs)*HeaderPerSeg, segs, ackWire(segs))
+}
+
+func (c *Conn) record(t time.Time, dir trace.Direction, fl trace.Flags, payload, wire int64, segs int, ack int64) {
+	c.d.Cap.Record(trace.Packet{
+		Time: t, Flow: c.flow, Dir: dir, Flags: fl,
+		Payload: payload, Wire: wire, Segments: segs, AckWire: ack,
+	})
+}
+
+// segments returns how many MSS-sized packets n bytes occupy.
+func segments(n int64) int {
+	if n <= 0 {
+		return 1
+	}
+	return int((n + MSS - 1) / MSS)
+}
+
+// ackWire returns the wire bytes of the delayed ACKs elicited by a
+// burst of segs segments.
+func ackWire(segs int) int64 {
+	acks := (segs + ackEveryOther - 1) / ackEveryOther
+	return int64(acks) * HeaderPerSeg
+}

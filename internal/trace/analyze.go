@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"time"
+)
+
+// This file holds the trace analyzers behind every measurement in the
+// paper:
+//
+//   - byte accounting            -> protocol overhead (Fig. 6c, Fig. 4, Fig. 5)
+//   - first/last payload packet  -> completion time (Fig. 6b)
+//   - SYN timeline               -> connection-per-file detection (Fig. 3)
+//   - burst detection            -> sequential-upload detection (Sect. 4.2)
+//   - pause detection            -> chunk-size inference (Sect. 4.1)
+//   - cumulative byte timeline   -> idle/background traffic (Fig. 1)
+
+// TotalWireBytes sums on-the-wire bytes in both directions over the
+// selected flows, including pure-ACK accounting.
+func (c *Capture) TotalWireBytes(f FlowFilter) int64 {
+	set := c.flowSet(f)
+	var total int64
+	for _, p := range c.packets {
+		if set[p.Flow] {
+			total += p.Wire + p.AckWire
+		}
+	}
+	return total
+}
+
+// WireBytesDir sums on-the-wire bytes in one direction. ACK bytes
+// carried on a data record count towards the opposite direction (the
+// receiver emits them).
+func (c *Capture) WireBytesDir(f FlowFilter, dir Direction) int64 {
+	set := c.flowSet(f)
+	var total int64
+	for _, p := range c.packets {
+		if !set[p.Flow] {
+			continue
+		}
+		if p.Dir == dir {
+			total += p.Wire
+		} else {
+			total += p.AckWire
+		}
+	}
+	return total
+}
+
+// PayloadBytesDir sums application payload bytes in one direction.
+func (c *Capture) PayloadBytesDir(f FlowFilter, dir Direction) int64 {
+	set := c.flowSet(f)
+	var total int64
+	for _, p := range c.packets {
+		if set[p.Flow] && p.Dir == dir {
+			total += p.Payload
+		}
+	}
+	return total
+}
+
+// FirstPayloadTime returns the time of the first payload-carrying
+// packet over the selected flows. ok is false if none exists. This is
+// the paper's synchronization-start event ("the first storage flow").
+func (c *Capture) FirstPayloadTime(f FlowFilter) (t time.Time, ok bool) {
+	set := c.flowSet(f)
+	for _, p := range c.packets {
+		if set[p.Flow] && p.HasPayload() {
+			return p.Time, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// LastPayloadTime returns the time of the last payload-carrying packet
+// over the selected flows. The paper measures completion time between
+// the first and last packet with payload, ignoring TCP tear-down.
+func (c *Capture) LastPayloadTime(f FlowFilter) (t time.Time, ok bool) {
+	set := c.flowSet(f)
+	for i := len(c.packets) - 1; i >= 0; i-- {
+		p := c.packets[i]
+		if set[p.Flow] && p.HasPayload() {
+			return p.Time, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// SYNTimes returns the timestamps of client-initiated SYN packets over
+// the selected flows, in capture order. Plotting len(prefix) against
+// time reproduces Fig. 3.
+func (c *Capture) SYNTimes(f FlowFilter) []time.Time {
+	set := c.flowSet(f)
+	var out []time.Time
+	for _, p := range c.packets {
+		if set[p.Flow] && p.Flags.SYN && !p.Flags.ACK && p.Dir == Upstream {
+			out = append(out, p.Time)
+		}
+	}
+	return out
+}
+
+// ConnectionCount returns the number of client-initiated connections
+// over the selected flows (SYN count, excluding SYN-ACKs).
+func (c *Capture) ConnectionCount(f FlowFilter) int {
+	return len(c.SYNTimes(f))
+}
+
+// TimelinePoint is one step of a cumulative byte timeline.
+type TimelinePoint struct {
+	Time  time.Time
+	Bytes int64 // cumulative wire bytes up to and including Time
+}
+
+// CumulativeBytes returns the cumulative wire-byte timeline across the
+// selected flows (both directions), one point per packet. Fig. 1 plots
+// this for control traffic while the client is idle.
+func (c *Capture) CumulativeBytes(f FlowFilter) []TimelinePoint {
+	set := c.flowSet(f)
+	var out []TimelinePoint
+	var total int64
+	for _, p := range c.packets {
+		if !set[p.Flow] {
+			continue
+		}
+		total += p.Wire + p.AckWire
+		out = append(out, TimelinePoint{Time: p.Time, Bytes: total})
+	}
+	return out
+}
+
+// Burst is a run of upstream payload packets not separated by a gap
+// larger than the detection threshold. The paper counts bursts to
+// detect clients that upload files sequentially, waiting for an
+// application-layer acknowledgment between files (SkyDrive, Wuala).
+type Burst struct {
+	Start, End time.Time
+	Bytes      int64 // payload bytes in the burst
+	Packets    int
+}
+
+// Bursts splits the upstream payload traffic of the selected flows
+// into bursts separated by quiet gaps of at least gap.
+func (c *Capture) Bursts(f FlowFilter, gap time.Duration) []Burst {
+	set := c.flowSet(f)
+	var out []Burst
+	var cur *Burst
+	var lastEnd time.Time
+	for _, p := range c.packets {
+		if !set[p.Flow] || p.Dir != Upstream || !p.HasPayload() {
+			continue
+		}
+		if cur != nil && p.Time.Sub(lastEnd) >= gap {
+			out = append(out, *cur)
+			cur = nil
+		}
+		if cur == nil {
+			cur = &Burst{Start: p.Time}
+		}
+		cur.End = p.Time
+		cur.Bytes += p.Payload
+		cur.Packets += p.Segments
+		lastEnd = p.Time
+	}
+	if cur != nil {
+		out = append(out, *cur)
+	}
+	return out
+}
+
+// Pause is a quiet period inside an upload, used to infer chunk
+// boundaries (Sect. 4.1): a client that splits a large file into
+// chunks pauses between chunk submissions while it waits for the
+// per-chunk acknowledgment.
+type Pause struct {
+	At          time.Time // when the quiet period began
+	Gap         time.Duration
+	BytesBefore int64 // cumulative upstream payload before the pause
+}
+
+// UploadPauses returns pauses of at least gap between consecutive
+// upstream payload packets over the selected flows, together with the
+// cumulative payload uploaded before each pause. Differencing the
+// BytesBefore values recovers the chunk size.
+func (c *Capture) UploadPauses(f FlowFilter, gap time.Duration) []Pause {
+	set := c.flowSet(f)
+	var out []Pause
+	var last time.Time
+	var seen bool
+	var cum int64
+	for _, p := range c.packets {
+		if !set[p.Flow] || p.Dir != Upstream || !p.HasPayload() {
+			continue
+		}
+		if seen {
+			if g := p.Time.Sub(last); g >= gap {
+				out = append(out, Pause{At: last, Gap: g, BytesBefore: cum})
+			}
+		}
+		cum += p.Payload
+		last = p.Time
+		seen = true
+	}
+	return out
+}
+
+// RatePoint is one bucket of a throughput timeline.
+type RatePoint struct {
+	Time time.Time // bucket start
+	Bps  float64   // payload throughput within the bucket
+}
+
+// ThroughputTimeline buckets upstream payload into fixed intervals and
+// returns the per-bucket rate — the "monitoring throughput during the
+// upload" view the paper uses to spot chunking pauses (Sect. 4.1).
+// Empty buckets between activity are included (rate 0), so pauses are
+// visible; leading/trailing silence is not.
+func (c *Capture) ThroughputTimeline(f FlowFilter, bucket time.Duration) []RatePoint {
+	if bucket <= 0 {
+		panic("trace: non-positive throughput bucket")
+	}
+	set := c.flowSet(f)
+	var first, last time.Time
+	seen := false
+	for _, p := range c.packets {
+		if set[p.Flow] && p.Dir == Upstream && p.HasPayload() {
+			if !seen {
+				first = p.Time
+				seen = true
+			}
+			last = p.Time
+		}
+	}
+	if !seen {
+		return nil
+	}
+	n := int(last.Sub(first)/bucket) + 1
+	bytes := make([]int64, n)
+	for _, p := range c.packets {
+		if set[p.Flow] && p.Dir == Upstream && p.HasPayload() {
+			idx := int(p.Time.Sub(first) / bucket)
+			bytes[idx] += p.Payload
+		}
+	}
+	out := make([]RatePoint, n)
+	for i, b := range bytes {
+		out[i] = RatePoint{
+			Time: first.Add(time.Duration(i) * bucket),
+			Bps:  float64(b*8) / bucket.Seconds(),
+		}
+	}
+	return out
+}
+
+// FlowBytes returns total wire bytes per flow, indexed by FlowID. The
+// paper uses per-flow sizes to tell Wuala's storage flows from its
+// control flows, since Wuala does not split them by server name.
+func (c *Capture) FlowBytes() []int64 {
+	out := make([]int64, len(c.flows))
+	for _, p := range c.packets {
+		out[p.Flow] += p.Wire + p.AckWire
+	}
+	return out
+}
+
+// FarFuture is an instant beyond any simulated timeline, usable as an
+// open upper bound for Window.
+var FarFuture = time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Window returns a filter-independent sub-capture containing only the
+// packets in [from, to), preserving flow metadata. It is used to
+// analyze phases (login vs idle) separately.
+func (c *Capture) Window(from, to time.Time) *Capture {
+	sub := &Capture{flows: c.flows}
+	for _, p := range c.packets {
+		if !p.Time.Before(from) && p.Time.Before(to) {
+			sub.packets = append(sub.packets, p)
+		}
+	}
+	return sub
+}

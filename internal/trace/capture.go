@@ -1,0 +1,90 @@
+package trace
+
+import "time"
+
+// FlowInfo is the per-connection metadata the sniffer can legitimately
+// know: the 5-tuple, when the connection was opened, and the DNS name
+// the client resolved to reach the server. The real methodology builds
+// the same name<->IP association by watching DNS traffic (Sect. 2.1);
+// carrying it on the flow record is equivalent and keeps the analyzers
+// simple.
+type FlowInfo struct {
+	ID         FlowID
+	Key        FlowKey
+	ServerName string
+	OpenedAt   time.Time
+}
+
+// Capture is an in-memory packet trace: every connection the client
+// under test opened, and every packet exchanged. The zero value is an
+// empty, usable capture.
+type Capture struct {
+	packets []Packet
+	flows   []FlowInfo
+}
+
+// NewCapture returns an empty capture.
+func NewCapture() *Capture { return &Capture{} }
+
+// OpenFlow registers a new connection and returns its ID.
+func (c *Capture) OpenFlow(key FlowKey, serverName string, at time.Time) FlowID {
+	id := FlowID(len(c.flows))
+	c.flows = append(c.flows, FlowInfo{ID: id, Key: key, ServerName: serverName, OpenedAt: at})
+	return id
+}
+
+// Record adds a packet to the trace, keeping the trace sorted by time.
+// Connections simulate on independent timelines, so records can arrive
+// slightly out of order; a capture device would have timestamped them
+// in true time order, and the analyzers rely on that order. Insertion
+// is O(1) for the common in-order case.
+func (c *Capture) Record(p Packet) {
+	c.packets = append(c.packets, p)
+	for i := len(c.packets) - 1; i > 0 && c.packets[i].Time.Before(c.packets[i-1].Time); i-- {
+		c.packets[i], c.packets[i-1] = c.packets[i-1], c.packets[i]
+	}
+}
+
+// Packets returns the raw records in capture order. The returned slice
+// is the capture's backing store; callers must not modify it.
+func (c *Capture) Packets() []Packet { return c.packets }
+
+// Flows returns metadata for every connection in the capture.
+func (c *Capture) Flows() []FlowInfo { return c.flows }
+
+// Flow returns the metadata for one connection.
+func (c *Capture) Flow(id FlowID) FlowInfo { return c.flows[id] }
+
+// NumFlows returns how many connections the capture saw.
+func (c *Capture) NumFlows() int { return len(c.flows) }
+
+// Len returns the number of trace records.
+func (c *Capture) Len() int { return len(c.packets) }
+
+// FlowsWithTraffic reports which flows carry at least one packet in
+// this capture. On a Window sub-capture the flow metadata still spans
+// the whole session, so this is how analyzers find the connections
+// active within the window.
+func (c *Capture) FlowsWithTraffic() map[FlowID]bool {
+	out := make(map[FlowID]bool)
+	for _, p := range c.packets {
+		out[p.Flow] = true
+	}
+	return out
+}
+
+// FlowFilter selects a subset of connections, usually by server name
+// (the paper separates control from storage traffic by DNS name).
+type FlowFilter func(FlowInfo) bool
+
+// AllFlows matches every connection.
+func AllFlows(FlowInfo) bool { return true }
+
+// flowSet materialises a filter into a lookup table for fast scans.
+func (c *Capture) flowSet(f FlowFilter) []bool {
+	set := make([]bool, len(c.flows))
+	for i, fl := range c.flows {
+		set[i] = f == nil || f(fl)
+	}
+	return set
+}

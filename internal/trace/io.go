@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Capture serialization: a textual interchange format (CSV with two
+// sections) so benchmark runs can dump their traces for offline
+// analysis and tooling can reload them — the reproduction's analogue
+// of saving pcaps. The format is versioned and round-trips exactly.
+
+const formatVersion = "cloudbench-trace-v1"
+
+// WriteCSV serializes the capture.
+func (c *Capture) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#%s\n", formatVersion)
+	fmt.Fprintf(bw, "#flows id,client,cport,server,sport,proto,name,opened_unix_ns\n")
+	for _, f := range c.flows {
+		fmt.Fprintf(bw, "f,%d,%s,%d,%s,%d,%d,%s,%d\n",
+			f.ID, f.Key.ClientAddr, f.Key.ClientPort,
+			f.Key.ServerAddr, f.Key.ServerPort, int(f.Key.Proto),
+			f.ServerName, f.OpenedAt.UnixNano())
+	}
+	fmt.Fprintf(bw, "#packets unix_ns,flow,dir,flags,payload,wire,segments,ackwire\n")
+	for _, p := range c.packets {
+		fmt.Fprintf(bw, "p,%d,%d,%d,%s,%d,%d,%d,%d\n",
+			p.Time.UnixNano(), p.Flow, int(p.Dir), flagString(p.Flags),
+			p.Payload, p.Wire, p.Segments, p.AckWire)
+	}
+	return bw.Flush()
+}
+
+func flagString(f Flags) string {
+	var b strings.Builder
+	if f.SYN {
+		b.WriteByte('S')
+	}
+	if f.ACK {
+		b.WriteByte('A')
+	}
+	if f.FIN {
+		b.WriteByte('F')
+	}
+	if f.RST {
+		b.WriteByte('R')
+	}
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
+}
+
+func parseFlags(s string) Flags {
+	return Flags{
+		SYN: strings.ContainsRune(s, 'S'),
+		ACK: strings.ContainsRune(s, 'A'),
+		FIN: strings.ContainsRune(s, 'F'),
+		RST: strings.ContainsRune(s, 'R'),
+	}
+}
+
+// ReadCSV parses a capture previously produced by WriteCSV.
+func ReadCSV(r io.Reader) (*Capture, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	c := NewCapture()
+	line := 0
+	sawVersion := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if strings.Contains(text, formatVersion) {
+				sawVersion = true
+			}
+			continue
+		}
+		if !sawVersion {
+			return nil, fmt.Errorf("trace: line %d: missing %s header", line, formatVersion)
+		}
+		fields := strings.Split(text, ",")
+		switch fields[0] {
+		case "f":
+			if len(fields) != 9 {
+				return nil, fmt.Errorf("trace: line %d: flow record needs 9 fields, has %d", line, len(fields))
+			}
+			cport, err1 := strconv.Atoi(fields[3])
+			sport, err2 := strconv.Atoi(fields[5])
+			proto, err3 := strconv.Atoi(fields[6])
+			opened, err4 := strconv.ParseInt(fields[8], 10, 64)
+			if err := firstErr(err1, err2, err3, err4); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			}
+			c.OpenFlow(FlowKey{
+				ClientAddr: fields[2], ClientPort: cport,
+				ServerAddr: fields[4], ServerPort: sport,
+				Proto: Proto(proto),
+			}, fields[7], time.Unix(0, opened).UTC())
+		case "p":
+			if len(fields) != 9 {
+				return nil, fmt.Errorf("trace: line %d: packet record needs 9 fields, has %d", line, len(fields))
+			}
+			ns, err1 := strconv.ParseInt(fields[1], 10, 64)
+			flow, err2 := strconv.Atoi(fields[2])
+			dir, err3 := strconv.Atoi(fields[3])
+			payload, err4 := strconv.ParseInt(fields[5], 10, 64)
+			wire, err5 := strconv.ParseInt(fields[6], 10, 64)
+			segs, err6 := strconv.Atoi(fields[7])
+			ack, err7 := strconv.ParseInt(fields[8], 10, 64)
+			if err := firstErr(err1, err2, err3, err4, err5, err6, err7); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", line, err)
+			}
+			if flow < 0 || flow >= len(c.flows) {
+				return nil, fmt.Errorf("trace: line %d: packet references unknown flow %d", line, flow)
+			}
+			c.Record(Packet{
+				Time: time.Unix(0, ns).UTC(), Flow: FlowID(flow),
+				Dir: Direction(dir), Flags: parseFlags(fields[4]),
+				Payload: payload, Wire: wire, Segments: segs, AckWire: ack,
+			})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record type %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawVersion {
+		return nil, fmt.Errorf("trace: empty or unversioned input")
+	}
+	return c, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Package trace implements packet-trace capture and analysis for the
+// benchmarking methodology.
+//
+// The paper's testing application never inspects the client under test;
+// it only observes the traffic the client exchanges (tcpdump-style) and
+// derives every metric — synchronization start-up, completion time,
+// protocol overhead, TCP SYN counts, upload pauses, packet bursts —
+// from the trace. This package is the equivalent information boundary
+// in the reproduction: internal/tcpsim writes packets into a Capture,
+// and internal/core reads only the Capture.
+//
+// The design borrows gopacket's vocabulary (packets, flows, endpoints)
+// but stores segments in a compact aggregated form: consecutive data
+// segments transmitted in the same congestion-window round share one
+// record with a segment count. Control packets (SYN, FIN, RST and TLS
+// handshake records) are always individual, so connection counting and
+// handshake analysis stay exact.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Direction tells which way a packet travels relative to the client
+// under test.
+type Direction int
+
+const (
+	// Upstream packets travel client -> server.
+	Upstream Direction = iota
+	// Downstream packets travel server -> client.
+	Downstream
+)
+
+// String returns "up" or "down".
+func (d Direction) String() string {
+	if d == Upstream {
+		return "up"
+	}
+	return "down"
+}
+
+// Proto is the transport protocol of a flow.
+type Proto int
+
+const (
+	// TCP transport.
+	TCP Proto = iota
+	// UDP transport (DNS lookups).
+	UDP
+)
+
+// String returns the protocol name.
+func (p Proto) String() string {
+	if p == TCP {
+		return "tcp"
+	}
+	return "udp"
+}
+
+// Flags models the TCP flag bits the analyzers care about.
+type Flags struct {
+	SYN bool
+	ACK bool
+	FIN bool
+	RST bool
+}
+
+// FlowKey identifies one transport connection from the client under
+// test to a server.
+type FlowKey struct {
+	ClientAddr string
+	ClientPort int
+	ServerAddr string
+	ServerPort int
+	Proto      Proto
+}
+
+// String formats the key in the usual 5-tuple notation.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s %s:%d->%s:%d", k.Proto, k.ClientAddr, k.ClientPort, k.ServerAddr, k.ServerPort)
+}
+
+// FlowID indexes a flow inside one Capture.
+type FlowID int
+
+// Packet is one trace record. Payload is application-visible bytes
+// carried (TLS ciphertext counts as payload at this layer); Wire is
+// bytes on the wire including transport/network/link headers. Segments
+// is how many real packets the record aggregates; for control packets
+// it is 1.
+type Packet struct {
+	Time     time.Time
+	Flow     FlowID
+	Dir      Direction
+	Flags    Flags
+	Payload  int64
+	Wire     int64
+	Segments int
+
+	// AckWire accounts the on-the-wire bytes of the pure-ACK packets
+	// that this data record elicits in the opposite direction
+	// (roughly one 66-byte ACK per two segments). Keeping them on the
+	// data record avoids doubling the trace size while preserving
+	// exact byte totals for the overhead metric.
+	AckWire int64
+}
+
+// HasPayload reports whether the record carries application bytes.
+func (p Packet) HasPayload() bool { return p.Payload > 0 }

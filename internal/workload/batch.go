@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Batch describes one upload set: Count files of Size bytes each, of
+// the given Kind. The paper's headline workloads are 1x100kB, 1x1MB,
+// 10x100kB and 100x10kB (Sect. 5); the bundling test uses four sets
+// with identical total volume split into 1, 10, 100 and 1000 files
+// (Sect. 4.2).
+type Batch struct {
+	Count int
+	Size  int64
+	Kind  Kind
+}
+
+// Total returns the batch's content volume.
+func (b Batch) Total() int64 { return int64(b.Count) * b.Size }
+
+// String formats the batch like the paper's axis labels ("100x10kB").
+func (b Batch) String() string {
+	return fmt.Sprintf("%dx%s", b.Count, SizeLabel(b.Size))
+}
+
+// SizeLabel renders a byte count the way the paper labels workloads
+// (10kB, 100kB, 1MB).
+func SizeLabel(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n/(1<<20))
+	case n >= 1000000 && n%1000000 == 0:
+		return fmt.Sprintf("%dMB", n/1000000)
+	case n >= 1000 && n%1000 == 0:
+		return fmt.Sprintf("%dkB", n/1000)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Materialize creates the batch's files in the folder at time `at`,
+// naming them set<i>/file<i>.<ext>. It returns the created paths.
+func (b Batch) Materialize(f *Folder, rng *sim.RNG, at time.Time, prefix string) []string {
+	paths := make([]string, 0, b.Count)
+	for i := 0; i < b.Count; i++ {
+		path := fmt.Sprintf("%s/file%04d%s", prefix, i, b.Kind.Ext())
+		f.Create(at, path, Generate(rng.Fork(int64(i)), b.Kind, b.Size))
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// StandardBenchmarks returns the four workloads of Fig. 6 for the
+// given file kind.
+func StandardBenchmarks(kind Kind) []Batch {
+	return []Batch{
+		{Count: 1, Size: 100_000, Kind: kind},
+		{Count: 1, Size: 1 << 20, Kind: kind},
+		{Count: 10, Size: 100_000, Kind: kind},
+		{Count: 100, Size: 10_000, Kind: kind},
+	}
+}
+
+// BundlingSets returns the Sect. 4.2 upload sets: the same total
+// volume split into 1, 10, 100 and 1000 files.
+func BundlingSets(total int64, kind Kind) []Batch {
+	return []Batch{
+		{Count: 1, Size: total, Kind: kind},
+		{Count: 10, Size: total / 10, Kind: kind},
+		{Count: 100, Size: total / 100, Kind: kind},
+		{Count: 1000, Size: total / 1000, Kind: kind},
+	}
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ChangeType classifies a folder event as the sync client sees it.
+type ChangeType int
+
+const (
+	// Created: a new file appeared.
+	Created ChangeType = iota
+	// Modified: an existing file's content changed.
+	Modified
+	// Deleted: a file was removed.
+	Deleted
+)
+
+// String names the change type.
+func (c ChangeType) String() string {
+	switch c {
+	case Created:
+		return "created"
+	case Modified:
+		return "modified"
+	case Deleted:
+		return "deleted"
+	default:
+		return fmt.Sprintf("ChangeType(%d)", int(c))
+	}
+}
+
+// Change is one observable folder event.
+type Change struct {
+	Time time.Time
+	Path string
+	Type ChangeType
+}
+
+// File is one file in the synchronized folder.
+type File struct {
+	Path    string
+	Data    []byte
+	ModTime time.Time
+}
+
+// Folder is the virtual synchronized directory manipulated by the
+// testing application and watched by the client under test. It keeps
+// an append-only change journal (the equivalent of inotify events) and
+// tombstones for deleted files so the paper's delete-and-restore
+// deduplication test (Sect. 4.3 step iv) can bring content back.
+type Folder struct {
+	files   map[string]*File
+	deleted map[string][]byte // tombstones: last content of removed files
+	journal []Change
+}
+
+// NewFolder returns an empty folder.
+func NewFolder() *Folder {
+	return &Folder{
+		files:   make(map[string]*File),
+		deleted: make(map[string][]byte),
+	}
+}
+
+// Create adds a new file. It panics if the path exists — the workload
+// scripts are deterministic and a collision is a scripting bug.
+func (f *Folder) Create(at time.Time, path string, data []byte) {
+	if _, ok := f.files[path]; ok {
+		panic(fmt.Sprintf("workload: Create over existing path %q", path))
+	}
+	f.files[path] = &File{Path: path, Data: data, ModTime: at}
+	f.log(at, path, Created)
+}
+
+// Write replaces the content of an existing file ("the modified file
+// replaces its old copy", Sect. 4.4).
+func (f *Folder) Write(at time.Time, path string, data []byte) {
+	file, ok := f.files[path]
+	if !ok {
+		panic(fmt.Sprintf("workload: Write to missing path %q", path))
+	}
+	file.Data = data
+	file.ModTime = at
+	f.log(at, path, Modified)
+}
+
+// Append adds data at the end of an existing file.
+func (f *Folder) Append(at time.Time, path string, data []byte) {
+	file := f.mustGet(path)
+	buf := make([]byte, 0, len(file.Data)+len(data))
+	buf = append(buf, file.Data...)
+	buf = append(buf, data...)
+	f.Write(at, path, buf)
+}
+
+// InsertAt inserts data at the given offset of an existing file,
+// shifting the remainder — the "random position" delta-encoding case.
+func (f *Folder) InsertAt(at time.Time, path string, offset int64, data []byte) {
+	file := f.mustGet(path)
+	if offset < 0 || offset > int64(len(file.Data)) {
+		panic(fmt.Sprintf("workload: InsertAt offset %d outside %q (%d bytes)", offset, path, len(file.Data)))
+	}
+	buf := make([]byte, 0, len(file.Data)+len(data))
+	buf = append(buf, file.Data[:offset]...)
+	buf = append(buf, data...)
+	buf = append(buf, file.Data[offset:]...)
+	f.Write(at, path, buf)
+}
+
+// Copy duplicates src to dst (same payload, different name — the
+// deduplication test's replica step).
+func (f *Folder) Copy(at time.Time, src, dst string) {
+	file := f.mustGet(src)
+	data := make([]byte, len(file.Data))
+	copy(data, file.Data)
+	f.Create(at, dst, data)
+}
+
+// Rename moves a file to a new path, content unchanged. The sync
+// client observes it as a delete plus a create; services with
+// deduplication commit it as pure metadata, everyone else re-uploads
+// the content.
+func (f *Folder) Rename(at time.Time, from, to string) {
+	file := f.mustGet(from)
+	if _, exists := f.files[to]; exists {
+		panic(fmt.Sprintf("workload: Rename target %q exists", to))
+	}
+	data := file.Data
+	f.deleted[from] = data
+	delete(f.files, from)
+	f.log(at, from, Deleted)
+	f.files[to] = &File{Path: to, Data: data, ModTime: at}
+	f.log(at, to, Created)
+}
+
+// Delete removes a file, keeping a tombstone for Restore.
+func (f *Folder) Delete(at time.Time, path string) {
+	file := f.mustGet(path)
+	f.deleted[path] = file.Data
+	delete(f.files, path)
+	f.log(at, path, Deleted)
+}
+
+// Restore brings a previously deleted file back with its old content
+// (the user "places the original file back").
+func (f *Folder) Restore(at time.Time, path string) {
+	data, ok := f.deleted[path]
+	if !ok {
+		panic(fmt.Sprintf("workload: Restore of never-deleted path %q", path))
+	}
+	delete(f.deleted, path)
+	f.Create(at, path, data)
+}
+
+// Get returns a file by path.
+func (f *Folder) Get(path string) (*File, bool) {
+	file, ok := f.files[path]
+	return file, ok
+}
+
+// Paths returns the current file paths, sorted.
+func (f *Folder) Paths() []string {
+	out := make([]string, 0, len(f.files))
+	for p := range f.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of files currently present.
+func (f *Folder) Len() int { return len(f.files) }
+
+// TotalBytes returns the summed size of all current files.
+func (f *Folder) TotalBytes() int64 {
+	var n int64
+	for _, file := range f.files {
+		n += int64(len(file.Data))
+	}
+	return n
+}
+
+// Journal returns all changes recorded so far, in order.
+func (f *Folder) Journal() []Change { return f.journal }
+
+// ChangesSince returns the journal entries strictly after t.
+func (f *Folder) ChangesSince(t time.Time) []Change {
+	// The journal is time-ordered; find the first entry after t.
+	i := sort.Search(len(f.journal), func(i int) bool {
+		return f.journal[i].Time.After(t)
+	})
+	return f.journal[i:]
+}
+
+func (f *Folder) mustGet(path string) *File {
+	file, ok := f.files[path]
+	if !ok {
+		panic(fmt.Sprintf("workload: missing path %q", path))
+	}
+	return file
+}
+
+func (f *Folder) log(at time.Time, path string, typ ChangeType) {
+	if n := len(f.journal); n > 0 && at.Before(f.journal[n-1].Time) {
+		panic("workload: change journal must be time-ordered")
+	}
+	f.journal = append(f.journal, Change{Time: at, Path: path, Type: typ})
+}

@@ -1,0 +1,172 @@
+// Package workload generates the benchmark file sets and manages the
+// virtual synchronized folder.
+//
+// The paper's testing application creates files "at run-time, e.g.,
+// text files composed of random words from a dictionary, images with
+// random pixels, or random binary files" (Sect. 2) and manipulates
+// them in the folder watched by the client under test. The three
+// compression benchmarks (Fig. 5) additionally need fake JPEGs: JPEG
+// extension and header, text body.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind selects a generated file type.
+type Kind int
+
+const (
+	// Text is highly compressible dictionary text (Fig. 5a).
+	Text Kind = iota
+	// Binary is incompressible random bytes (Fig. 5b and the
+	// performance benchmarks of Sect. 5).
+	Binary
+	// FakeJPEG has a JPEG header but a text body (Fig. 5c).
+	FakeJPEG
+	// PixelImage is an image of random pixels: a real bitmap
+	// header followed by incompressible pixel data.
+	PixelImage
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case Text:
+		return "text"
+	case Binary:
+		return "binary"
+	case FakeJPEG:
+		return "fake-jpeg"
+	case PixelImage:
+		return "pixel-image"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Ext returns the file extension used for the kind.
+func (k Kind) Ext() string {
+	switch k {
+	case Text:
+		return ".txt"
+	case Binary:
+		return ".bin"
+	case FakeJPEG, PixelImage:
+		return ".jpg"
+	default:
+		return ".dat"
+	}
+}
+
+// dictionary is the word list for Text files: enough variety for
+// realistic DEFLATE ratios (~3-4x), repeated enough to compress well.
+var dictionary = strings.Fields(`
+the quick brown fox jumps over lazy dog measurement internet cloud
+storage service benchmark synchronization capability architecture
+performance overhead traffic protocol chunk bundle compress encode
+delta duplicate encrypt folder client server control transfer upload
+download experiment repetition workload latency bandwidth capacity
+network packet connection session handshake virginia oregon ireland
+dublin seattle singapore zurich nuremberg france twente torino europe
+provider amazon google microsoft dropbox wuala drive paper figure
+table result design choice implication user file batch size time
+second minute metric startup completion ratio percent megabyte
+kilobyte system methodology active passive vantage resolver airport
+`)
+
+// Generate produces size bytes of the given kind using rng. The
+// output length is exactly size for every kind.
+func Generate(rng *sim.RNG, kind Kind, size int64) []byte {
+	if size < 0 {
+		panic(fmt.Sprintf("workload: negative size %d", size))
+	}
+	switch kind {
+	case Text:
+		return genText(rng, size)
+	case Binary:
+		return rng.Bytes(int(size))
+	case FakeJPEG:
+		return genFakeJPEG(rng, size)
+	case PixelImage:
+		return genPixelImage(rng, size)
+	default:
+		panic(fmt.Sprintf("workload: unknown kind %d", int(kind)))
+	}
+}
+
+func genText(rng *sim.RNG, size int64) []byte {
+	var b strings.Builder
+	b.Grow(int(size) + 16)
+	col := 0
+	for int64(b.Len()) < size {
+		w := dictionary[rng.Intn(len(dictionary))]
+		b.WriteString(w)
+		col += len(w) + 1
+		if col > 72 {
+			b.WriteByte('\n')
+			col = 0
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return []byte(b.String()[:size])
+}
+
+// jpegHeader is a minimal structurally plausible JPEG prefix: SOI,
+// APP0/JFIF, and the start of a quantization table marker.
+var jpegHeader = []byte{
+	0xFF, 0xD8, // SOI
+	0xFF, 0xE0, 0x00, 0x10, 'J', 'F', 'I', 'F', 0x00, // APP0/JFIF
+	0x01, 0x01, 0x00, 0x00, 0x48, 0x00, 0x48, 0x00, 0x00,
+	0xFF, 0xDB, 0x00, 0x43, 0x00, // DQT marker
+}
+
+func genFakeJPEG(rng *sim.RNG, size int64) []byte {
+	if size <= int64(len(jpegHeader)) {
+		return jpegHeader[:size]
+	}
+	out := make([]byte, 0, size)
+	out = append(out, jpegHeader...)
+	out = append(out, genText(rng, size-int64(len(jpegHeader)))...)
+	return out
+}
+
+// bmpHeaderSize is the BITMAPFILEHEADER+BITMAPINFOHEADER size.
+const bmpHeaderSize = 54
+
+func genPixelImage(rng *sim.RNG, size int64) []byte {
+	if size <= bmpHeaderSize {
+		h := bmpHeader(0, 0)
+		return h[:size]
+	}
+	pixels := size - bmpHeaderSize
+	// Lay pixels out as a wide single-row 24-bit image.
+	width := pixels / 3
+	out := make([]byte, 0, size)
+	out = append(out, bmpHeader(int(width), 1)...)
+	out = append(out, rng.Bytes(int(pixels))...)
+	return out
+}
+
+func bmpHeader(w, h int) []byte {
+	hdr := make([]byte, bmpHeaderSize)
+	hdr[0], hdr[1] = 'B', 'M'
+	putU32 := func(off int, v uint32) {
+		hdr[off] = byte(v)
+		hdr[off+1] = byte(v >> 8)
+		hdr[off+2] = byte(v >> 16)
+		hdr[off+3] = byte(v >> 24)
+	}
+	putU32(2, uint32(bmpHeaderSize+w*h*3)) // file size
+	putU32(10, bmpHeaderSize)              // pixel data offset
+	putU32(14, 40)                         // info header size
+	putU32(18, uint32(w))
+	putU32(22, uint32(h))
+	hdr[26] = 1  // planes
+	hdr[28] = 24 // bpp
+	return hdr
+}

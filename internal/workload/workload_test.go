@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+var t0 = time.Date(2013, 10, 23, 0, 0, 0, 0, time.UTC)
+
+func at(s int) time.Time { return t0.Add(time.Duration(s) * time.Second) }
+
+func TestGenerateSizesExact(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for _, kind := range []Kind{Text, Binary, FakeJPEG, PixelImage} {
+		for _, size := range []int64{0, 1, 10, 1000, 100_000} {
+			data := Generate(rng.Fork(int64(kind)), kind, size)
+			if int64(len(data)) != size {
+				t.Fatalf("%v size %d produced %d bytes", kind, size, len(data))
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(sim.NewRNG(42), Text, 10_000)
+	b := Generate(sim.NewRNG(42), Text, 10_000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different content")
+	}
+}
+
+func TestTextIsDictionaryWords(t *testing.T) {
+	data := Generate(sim.NewRNG(1), Text, 5000)
+	for _, w := range bytes.Fields(data) {
+		found := false
+		for _, dw := range dictionary {
+			if string(w) == dw {
+				found = true
+				break
+			}
+		}
+		if !found {
+			// The final word may be truncated by the exact-size cut.
+			if !bytes.HasSuffix(data, w) {
+				t.Fatalf("non-dictionary word %q", w)
+			}
+		}
+	}
+}
+
+func TestFakeJPEGHeader(t *testing.T) {
+	data := Generate(sim.NewRNG(1), FakeJPEG, 10_000)
+	if data[0] != 0xFF || data[1] != 0xD8 || data[2] != 0xFF {
+		t.Fatal("fake JPEG missing SOI marker")
+	}
+	// Body is text, not JPEG entropy-coded data.
+	if !bytes.Contains(data, []byte("the")) && !bytes.Contains(data, []byte("cloud")) {
+		t.Fatal("fake JPEG body does not look like text")
+	}
+}
+
+func TestPixelImageHeader(t *testing.T) {
+	data := Generate(sim.NewRNG(1), PixelImage, 10_000)
+	if data[0] != 'B' || data[1] != 'M' {
+		t.Fatal("pixel image missing BM magic")
+	}
+}
+
+func TestKindStringsAndExt(t *testing.T) {
+	if Text.String() != "text" || Binary.Ext() != ".bin" || FakeJPEG.Ext() != ".jpg" {
+		t.Fatal("kind metadata")
+	}
+}
+
+func TestFolderCreateWriteJournal(t *testing.T) {
+	f := NewFolder()
+	f.Create(at(0), "a.bin", []byte("v1"))
+	f.Write(at(1), "a.bin", []byte("v2"))
+	file, ok := f.Get("a.bin")
+	if !ok || string(file.Data) != "v2" || !file.ModTime.Equal(at(1)) {
+		t.Fatalf("file state: %+v", file)
+	}
+	j := f.Journal()
+	if len(j) != 2 || j[0].Type != Created || j[1].Type != Modified {
+		t.Fatalf("journal: %+v", j)
+	}
+}
+
+func TestFolderAppendAndInsert(t *testing.T) {
+	f := NewFolder()
+	f.Create(at(0), "a.bin", []byte("hello"))
+	f.Append(at(1), "a.bin", []byte(" world"))
+	file, _ := f.Get("a.bin")
+	if string(file.Data) != "hello world" {
+		t.Fatalf("append: %q", file.Data)
+	}
+	f.InsertAt(at(2), "a.bin", 5, []byte(","))
+	file, _ = f.Get("a.bin")
+	if string(file.Data) != "hello, world" {
+		t.Fatalf("insert: %q", file.Data)
+	}
+	// Boundary offsets.
+	f.InsertAt(at(3), "a.bin", 0, []byte(">"))
+	f.InsertAt(at(4), "a.bin", int64(len(">hello, world")), []byte("<"))
+	file, _ = f.Get("a.bin")
+	if string(file.Data) != ">hello, world<" {
+		t.Fatalf("boundary insert: %q", file.Data)
+	}
+}
+
+func TestFolderCopyIsDeep(t *testing.T) {
+	f := NewFolder()
+	f.Create(at(0), "orig", []byte("payload"))
+	f.Copy(at(1), "orig", "copy")
+	c, _ := f.Get("copy")
+	c.Data[0] = 'X'
+	o, _ := f.Get("orig")
+	if o.Data[0] == 'X' {
+		t.Fatal("Copy aliases source data")
+	}
+}
+
+func TestFolderDeleteRestore(t *testing.T) {
+	// The dedup test's step iv: content must come back identical.
+	f := NewFolder()
+	payload := []byte("original payload")
+	f.Create(at(0), "a", payload)
+	f.Delete(at(1), "a")
+	if _, ok := f.Get("a"); ok {
+		t.Fatal("file still present after delete")
+	}
+	f.Restore(at(2), "a")
+	file, ok := f.Get("a")
+	if !ok || !bytes.Equal(file.Data, payload) {
+		t.Fatal("restore did not bring identical content back")
+	}
+	types := []ChangeType{Created, Deleted, Created}
+	for i, c := range f.Journal() {
+		if c.Type != types[i] {
+			t.Fatalf("journal[%d] = %v", i, c.Type)
+		}
+	}
+}
+
+func TestFolderPanicsOnMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*Folder)
+	}{
+		{"create-dup", func(f *Folder) { f.Create(at(0), "x", nil); f.Create(at(1), "x", nil) }},
+		{"write-missing", func(f *Folder) { f.Write(at(0), "nope", nil) }},
+		{"restore-never-deleted", func(f *Folder) { f.Restore(at(0), "nope") }},
+		{"insert-out-of-range", func(f *Folder) { f.Create(at(0), "x", []byte("ab")); f.InsertAt(at(1), "x", 5, nil) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			c.fn(NewFolder())
+		}()
+	}
+}
+
+func TestChangesSince(t *testing.T) {
+	f := NewFolder()
+	f.Create(at(0), "a", nil)
+	f.Create(at(10), "b", nil)
+	f.Create(at(20), "c", nil)
+	got := f.ChangesSince(at(10))
+	if len(got) != 1 || got[0].Path != "c" {
+		t.Fatalf("ChangesSince = %+v", got)
+	}
+	if len(f.ChangesSince(at(-1))) != 3 {
+		t.Fatal("ChangesSince before all events")
+	}
+}
+
+func TestBatchMaterialize(t *testing.T) {
+	f := NewFolder()
+	b := Batch{Count: 10, Size: 10_000, Kind: Binary}
+	paths := b.Materialize(f, sim.NewRNG(1), at(0), "set1")
+	if len(paths) != 10 || f.Len() != 10 {
+		t.Fatalf("materialized %d files", f.Len())
+	}
+	if f.TotalBytes() != 100_000 {
+		t.Fatalf("TotalBytes = %d", f.TotalBytes())
+	}
+	// Files must differ from one another (independent RNG forks).
+	a, _ := f.Get(paths[0])
+	c, _ := f.Get(paths[1])
+	if bytes.Equal(a.Data, c.Data) {
+		t.Fatal("batch files are identical")
+	}
+}
+
+func TestBatchLabels(t *testing.T) {
+	cases := []struct {
+		b    Batch
+		want string
+	}{
+		{Batch{Count: 1, Size: 100_000, Kind: Binary}, "1x100kB"},
+		{Batch{Count: 1, Size: 1 << 20, Kind: Binary}, "1x1MB"},
+		{Batch{Count: 100, Size: 10_000, Kind: Binary}, "100x10kB"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("label = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStandardBenchmarksMatchPaper(t *testing.T) {
+	bs := StandardBenchmarks(Binary)
+	want := []string{"1x100kB", "1x1MB", "10x100kB", "100x10kB"}
+	if len(bs) != len(want) {
+		t.Fatalf("len = %d", len(bs))
+	}
+	for i, b := range bs {
+		if b.String() != want[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, b, want[i])
+		}
+	}
+}
+
+func TestBundlingSetsSameTotal(t *testing.T) {
+	sets := BundlingSets(1_000_000, Binary)
+	for _, s := range sets {
+		if s.Total() != 1_000_000 {
+			t.Fatalf("set %s total = %d", s, s.Total())
+		}
+	}
+	if sets[3].Count != 1000 {
+		t.Fatalf("last set count = %d", sets[3].Count)
+	}
+}
+
+func TestFolderRename(t *testing.T) {
+	f := NewFolder()
+	f.Create(at(0), "old/name.bin", []byte("payload"))
+	f.Rename(at(1), "old/name.bin", "new/name.bin")
+	if _, ok := f.Get("old/name.bin"); ok {
+		t.Fatal("old path still present")
+	}
+	file, ok := f.Get("new/name.bin")
+	if !ok || string(file.Data) != "payload" {
+		t.Fatal("content lost in rename")
+	}
+	// Journal shows delete+create, which is what the client sees.
+	j := f.Journal()
+	if len(j) != 3 || j[1].Type != Deleted || j[2].Type != Created {
+		t.Fatalf("journal: %+v", j)
+	}
+	// Renaming over an existing file is a scripting bug.
+	f.Create(at(2), "other.bin", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on rename collision")
+		}
+	}()
+	f.Rename(at(3), "other.bin", "new/name.bin")
+}
