@@ -1,0 +1,242 @@
+// Command benchsnap measures the measurement engine itself and writes
+// a BENCH_<commit>.json snapshot: a regular campaign (the Fig. 6
+// benchmarks, so cmd/comparebench can diff snapshots across commits
+// or vantages) extended with engine microbenchmarks — the 24-rep
+// campaign wall-clock through the parallel and sequential engines,
+// and the MeasureWindow path against the seed copy-and-rescan
+// baseline. scripts/bench.sh wraps it.
+//
+// Usage:
+//
+//	benchsnap [-out BENCH.json] [-reps N] [-seed N] [-commit SHA] [-skip-fig6]
+//
+// The snapshot stays a valid comparebench campaign file: unknown
+// fields are ignored by its reader, so
+//
+//	comparebench -a BENCH_aaaa.json -b BENCH_bbbb.json
+//
+// reports simulated-metric regressions between two commits, while the
+// micro section tracks how fast the engine produced them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// campaignMicro is one service's engine timing on the acceptance
+// workload (24 repetitions of 100x10 kB).
+type campaignMicro struct {
+	Service          string  `json:"service"`
+	ParallelNs       int64   `json:"parallel_ns"`
+	SequentialNs     int64   `json:"sequential_ns"`
+	ParallelSpeedupX float64 `json:"parallel_speedup_x"`
+}
+
+type measureMicro struct {
+	OnePassNs int64   `json:"one_pass_ns"`
+	SeedNs    int64   `json:"seed_ns"`
+	SpeedupX  float64 `json:"speedup_x"`
+}
+
+type micro struct {
+	GoMaxProcs       int             `json:"go_max_procs"`
+	CampaignWorkload string          `json:"campaign_workload"`
+	Campaign         []campaignMicro `json:"campaign"`
+	MeasureWindow    measureMicro    `json:"measure_window"`
+}
+
+// snapshot is a core.Campaign plus the engine micro section; the
+// embedded fields keep it readable by core.ReadCampaign.
+type snapshot struct {
+	core.Campaign
+	Commit string `json:"commit,omitempty"`
+	Micro  micro  `json:"micro"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output path (default stdout)")
+		reps     = flag.Int("reps", 4, "repetitions per Fig. 6 workload in the embedded campaign")
+		seed     = flag.Int64("seed", 42, "base random seed")
+		commit   = flag.String("commit", "", "commit id recorded in the snapshot")
+		skipFig6 = flag.Bool("skip-fig6", false, "skip the embedded Fig. 6 campaign (micro section only)")
+	)
+	flag.Parse()
+
+	snap := snapshot{Commit: *commit}
+	snap.Micro.GoMaxProcs = runtime.GOMAXPROCS(0)
+	snap.Micro.CampaignWorkload = "24 reps x (100 x 10 kB)"
+
+	batch := workload.Batch{Count: 100, Size: 10_000, Kind: workload.Binary}
+	for _, svc := range []string{"clouddrive", "dropbox"} {
+		p, _ := client.ProfileFor(svc)
+		par := minWall(3, func() { core.RunCampaignParallel(p, batch, 24, *seed, 0) })
+		seq := minWall(3, func() { core.RunCampaignParallel(p, batch, 24, *seed, 1) })
+		snap.Micro.Campaign = append(snap.Micro.Campaign, campaignMicro{
+			Service:          svc,
+			ParallelNs:       par.Nanoseconds(),
+			SequentialNs:     seq.Nanoseconds(),
+			ParallelSpeedupX: ratio(seq, par),
+		})
+	}
+
+	tb, t0, total := syncedTestbed(client.CloudDrive(), *seed)
+	onePass := minWall(5, func() {
+		for i := 0; i < 200; i++ {
+			core.MeasureWindow(tb, t0, total)
+		}
+	})
+	seedStyle := minWall(5, func() {
+		for i := 0; i < 200; i++ {
+			seedMeasureWindow(tb, t0, total)
+		}
+	})
+	snap.Micro.MeasureWindow = measureMicro{
+		OnePassNs: onePass.Nanoseconds() / 200,
+		SeedNs:    seedStyle.Nanoseconds() / 200,
+		SpeedupX:  ratio(seedStyle, onePass),
+	}
+
+	if !*skipFig6 {
+		v, _ := core.VantageByName("twente")
+		snap.Campaign = core.RunFullCampaign(v, *reps, *seed)
+	} else {
+		snap.Campaign = core.Campaign{
+			Tool: core.ToolVersion, Vantage: "twente", Seed: *seed, Reps: *reps,
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// minWall returns the fastest of n wall-clock timings of fn.
+func minWall(n int, fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// syncedTestbed simulates one full 100x10 kB upload and returns the
+// testbed ready for measurement.
+func syncedTestbed(p client.Profile, seed int64) (*core.Testbed, time.Time, int64) {
+	batch := workload.Batch{Count: 100, Size: 10_000, Kind: workload.Binary}
+	tb := core.NewTestbed(p, seed, core.DefaultJitter)
+	start := tb.Settle()
+	t0 := tb.Clock.Now()
+	batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
+	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+	tb.Clock.AdvanceTo(res.Done)
+	return tb, t0, batch.Total()
+}
+
+// seedMeasureWindow replicates the seed measurement path scan for
+// scan — a copying window, then one independent full pass (each with
+// its own flow-set materialisation) per metric — so every snapshot
+// re-measures the engine against the same baseline on the same
+// hardware. internal/core's TestSeedMeasureWindowReference pins an
+// identical reference against the production MeasureWindow.
+func seedMeasureWindow(tb *core.Testbed, t0 time.Time, contentBytes int64) core.Metrics {
+	var packets []trace.Packet
+	for _, p := range tb.Cap.Packets() {
+		if !p.Time.Before(t0) && p.Time.Before(trace.FarFuture) {
+			packets = append(packets, p)
+		}
+	}
+	flows := tb.Cap.Flows()
+	set := func(f trace.FlowFilter) []bool {
+		s := make([]bool, len(flows))
+		for i, fl := range flows {
+			s[i] = f == nil || f(fl)
+		}
+		return s
+	}
+	storage := tb.StorageFilter(t0)
+
+	var m core.Metrics
+	var first, last time.Time
+	var ok1 bool
+	for s, i := set(storage), 0; i < len(packets); i++ {
+		if p := packets[i]; s[p.Flow] && p.HasPayload() {
+			first = p.Time
+			ok1 = true
+			break
+		}
+	}
+	for s, i := set(storage), len(packets)-1; i >= 0; i-- {
+		if p := packets[i]; s[p.Flow] && p.HasPayload() {
+			last = p.Time
+			break
+		}
+	}
+	if ok1 {
+		m.Startup = first.Sub(t0)
+		m.Completion = last.Sub(first)
+	}
+	for s, i := set(trace.AllFlows), 0; i < len(packets); i++ {
+		if p := packets[i]; s[p.Flow] {
+			m.TotalTraffic += p.Wire + p.AckWire
+		}
+	}
+	for s, i := set(storage), 0; i < len(packets); i++ {
+		p := packets[i]
+		if !s[p.Flow] {
+			continue
+		}
+		if p.Dir == trace.Upstream {
+			m.StorageUp += p.Wire
+		} else {
+			m.StorageUp += p.AckWire
+		}
+	}
+	if contentBytes > 0 {
+		m.Overhead = float64(m.TotalTraffic) / float64(contentBytes)
+	}
+	for s, i := set(trace.AllFlows), 0; i < len(packets); i++ {
+		p := packets[i]
+		if s[p.Flow] && p.Flags.SYN && !p.Flags.ACK && p.Dir == trace.Upstream {
+			m.Connections++
+		}
+	}
+	if m.Completion > 0 && contentBytes > 0 {
+		m.GoodputBps = float64(contentBytes*8) / m.Completion.Seconds()
+	}
+	return m
+}

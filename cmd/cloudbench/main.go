@@ -5,9 +5,15 @@
 //
 // Usage:
 //
-//	cloudbench [-service NAME|all] [-experiment NAME|all] [-reps N] [-seed N]
+//	cloudbench [-service NAME|all] [-experiment NAME|all] [-reps N] [-seed N] [-parallel N]
 //
 // Experiments: table1, fig1, fig3, fig4, fig5, fig6, discover, all.
+//
+// -parallel sets the campaign fan-out: how many benchmark repetitions
+// run concurrently, each on its own isolated testbed (0 = one worker
+// per CPU, 1 = the classic sequential engine). Repetition seeds are
+// derived from the repetition index, so results are bit-identical at
+// any worker count; -parallel only changes wall-clock time.
 package main
 
 import (
@@ -31,8 +37,14 @@ func main() {
 		reps       = flag.Int("reps", core.DefaultReps, "repetitions per benchmark (the paper uses 24)")
 		seed       = flag.Int64("seed", 42, "base random seed")
 		doPlot     = flag.Bool("plot", false, "render ASCII charts for figs 1, 3 and 6")
+		parallel   = flag.Int("parallel", 0, "concurrent campaign repetitions (0 = one per CPU, 1 = sequential; results are identical at any setting)")
 	)
 	flag.Parse()
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "-parallel must be >= 0 (got %d)\n", *parallel)
+		os.Exit(2)
+	}
+	core.CampaignWorkers = *parallel
 
 	profiles, err := selectProfiles(*service)
 	if err != nil {

@@ -12,6 +12,37 @@
 // See DESIGN.md for the system inventory and the per-experiment index,
 // and EXPERIMENTS.md for paper-vs-measured results.
 //
+// # Measurement engine
+//
+// Every published number is derived from the packet trace, so trace
+// analysis and campaign repetition are the hot paths of the whole
+// tool. They are organised as follows:
+//
+//   - internal/trace.Capture records packets append-only; stragglers
+//     from connections simulating on independent timelines land in a
+//     reorder buffer that is merged back — stably — on first read, so
+//     recording is O(1) and analyzers always see a time-sorted trace.
+//   - Capture.Window returns a zero-copy, binary-searched view of a
+//     time slice (half-open [from, to)), sharing the backing store.
+//   - Capture.Analyze computes every scalar metric of Sect. 5 — byte
+//     accounting in both directions, payload bracket, SYN timeline,
+//     connection count — in one scan per flow selection. The
+//     per-metric methods (TotalWireBytes, FirstPayloadTime, ...) are
+//     thin wrappers over it.
+//   - core.MeasureWindow reads all Sect. 5 metrics off two Analyze
+//     passes (all flows, storage flows) of one window.
+//   - core.RunCampaign fans the paper's 24 repetitions out over a
+//     bounded worker pool (core.CampaignWorkers, default one worker
+//     per CPU; cmd/cloudbench -parallel). Each repetition derives all
+//     randomness from its own seed and writes into its own slot, so
+//     campaign results are bit-identical to the sequential engine at
+//     any worker count.
+//
+// The golden-equivalence tests in internal/trace, internal/chunker
+// and internal/core pin the engine against the original
+// scan-per-metric implementation, and scripts/bench.sh snapshots its
+// performance (BENCH_<sha>.json, diffable with cmd/comparebench).
+//
 // The benchmarks in bench_test.go regenerate every table and figure:
 //
 //	go test -bench=. -benchmem

@@ -108,33 +108,77 @@ var buzTable = func() [256]uint32 {
 
 func rotl(v uint32, n uint) uint32 { return v<<n | v>>(32-n) }
 
-// Split implements Chunker.
+// Split implements Chunker. A boundary can only be declared once a
+// chunk has reached Min bytes, and the rolling hash depends only on
+// the trailing windowSize bytes, so the scan skips straight past the
+// Min region of every chunk: it warms the hash over the (at most
+// windowSize-byte) tail of that region and evaluates boundaries from
+// the first eligible position on. The produced chunks are identical
+// to the byte-at-a-time formulation.
 func (c *ContentDefined) Split(data []byte) []Chunk {
-	if len(data) == 0 {
+	n := int64(len(data))
+	if n == 0 {
 		return nil
 	}
 	var out []Chunk
-	start := int64(0)
-	n := int64(len(data))
-	var h uint32
-	for i := int64(0); i < n; i++ {
-		// Maintain the rolling hash over the trailing window.
-		h = rotl(h, 1) ^ buzTable[data[i]]
-		if w := i - windowSize; w >= start {
-			h ^= rotl(buzTable[data[w]], windowSize%32)
+	for start := int64(0); start < n; {
+		if start+c.Min >= n {
+			// The remainder cannot reach Min before EOF (or reaches
+			// it exactly at the last byte); either way it is the
+			// final chunk.
+			out = append(out, Chunk{Offset: start, Data: data[start:]})
+			break
 		}
-		size := i - start + 1
-		atBoundary := size >= c.Min && (h&c.mask) == c.mask
-		if atBoundary || size >= c.Max {
-			out = append(out, Chunk{Offset: start, Data: data[start : i+1]})
-			start = i + 1
-			h = 0
-		}
-	}
-	if start < n {
-		out = append(out, Chunk{Offset: start, Data: data[start:]})
+		cut := c.boundary(data, start, n)
+		out = append(out, Chunk{Offset: start, Data: data[start:cut]})
+		start = cut
 	}
 	return out
+}
+
+// boundary returns the exclusive end of the chunk starting at start.
+// The caller guarantees start+Min < n, so at least one in-bounds
+// candidate position exists.
+func (c *ContentDefined) boundary(data []byte, start, n int64) int64 {
+	limit := start + c.Max // cut here regardless of hash (size == Max)
+	if limit > n {
+		limit = n
+	}
+	// First position where a boundary may be declared (chunk size
+	// reaches Min), and the hash state just before processing it:
+	// the rolling hash over data[max(start, i0-windowSize) : i0].
+	i0 := start + c.Min - 1
+	w0 := i0 - windowSize
+	if w0 < start {
+		w0 = start
+	}
+	var h uint32
+	for _, b := range data[w0:i0] {
+		h = rotl(h, 1) ^ buzTable[b]
+	}
+	// Below start+windowSize the window is still growing: bytes are
+	// added but none drop out yet. The window-subtraction branch is
+	// hoisted out of the loops by splitting the scan at the
+	// saturation point.
+	sat := start + windowSize
+	if sat > limit {
+		sat = limit
+	}
+	i := i0
+	for ; i < sat; i++ {
+		h = rotl(h, 1) ^ buzTable[data[i]]
+		if h&c.mask == c.mask {
+			return i + 1
+		}
+	}
+	for ; i < limit; i++ {
+		h = rotl(h, 1) ^ buzTable[data[i]]
+		h ^= rotl(buzTable[data[i-windowSize]], windowSize%32)
+		if h&c.mask == c.mask {
+			return i + 1
+		}
+	}
+	return limit
 }
 
 // Sizes returns just the chunk lengths, convenient for tests and for

@@ -43,36 +43,48 @@ func (p FilePlan) UploadBytes() int64 {
 // planner turns changed files into upload plans, maintaining the
 // client-side state the capabilities need: the manifest of known chunk
 // hashes per path (deduplication) and per-chunk delta signatures
-// (delta encoding).
+// (delta encoding). State that no capability of the profile will ever
+// read — chunk hashes without dedup, signatures without delta
+// encoding — is not computed at all; for capability-poor clients
+// (Cloud Drive) that removes all hashing from the upload plan, which
+// is the single hottest part of their benchmark repetitions.
 type planner struct {
 	profile  Profile
-	store    *dedup.Store // the service's server-side chunk store
+	chunker  chunker.Chunker // nil for NoChunking
+	store    *dedup.Store    // the service's server-side chunk store
 	manifest *dedup.Manifest
 	sigs     map[string][]*deltaenc.Signature // per path, per chunk index
+
+	// Scratch buffers reused across chunks and files.
+	encBuf []byte // ciphertext (Encryption)
+	litBuf []byte // delta literal runs (DeltaEncoding)
 }
 
 func newPlanner(p Profile, store *dedup.Store) *planner {
-	return &planner{
+	pl := &planner{
 		profile:  p,
 		store:    store,
 		manifest: dedup.NewManifest(),
 		sigs:     make(map[string][]*deltaenc.Signature),
 	}
+	switch p.ChunkMode {
+	case FixedChunks:
+		pl.chunker = chunker.NewFixed(p.ChunkSize)
+	case VariableChunks:
+		pl.chunker = chunker.NewContentDefined(p.ChunkSize)
+	}
+	return pl
 }
 
 // split applies the profile's chunking mode.
 func (pl *planner) split(data []byte) []chunker.Chunk {
-	switch pl.profile.ChunkMode {
-	case FixedChunks:
-		return chunker.NewFixed(pl.profile.ChunkSize).Split(data)
-	case VariableChunks:
-		return chunker.NewContentDefined(pl.profile.ChunkSize).Split(data)
-	default:
-		if len(data) == 0 {
-			return nil
-		}
-		return []chunker.Chunk{{Offset: 0, Data: data}}
+	if pl.chunker != nil {
+		return pl.chunker.Split(data)
 	}
+	if len(data) == 0 {
+		return nil
+	}
+	return []chunker.Chunk{{Offset: 0, Data: data}}
 }
 
 // PlanFile computes the upload plan for one created or modified file,
@@ -85,7 +97,10 @@ func (pl *planner) PlanFile(path string, data []byte) FilePlan {
 
 	chunks := pl.split(data)
 	oldSigs := pl.sigs[path]
-	newHashes := make([]dedup.Hash, 0, len(chunks))
+	var newHashes []dedup.Hash
+	if prof.Dedup {
+		newHashes = make([]dedup.Hash, 0, len(chunks))
+	}
 	var newSigs []*deltaenc.Signature
 	if prof.DeltaEncoding {
 		newSigs = make([]*deltaenc.Signature, 0, len(chunks))
@@ -95,11 +110,20 @@ func (pl *planner) PlanFile(path string, data []byte) FilePlan {
 		payload := ch.Data
 		if prof.Encryption {
 			// Convergent encryption: equal chunks keep equal
-			// ciphertexts, so dedup below still works.
-			payload, _ = cryptobox.Encrypt(ch.Data)
+			// ciphertexts, so dedup below still works. The scratch
+			// buffer is safe to reuse because nothing below retains
+			// the ciphertext — the store is content-addressed by
+			// hash and size only.
+			payload, _ = cryptobox.EncryptInto(pl.encBuf[:0], ch.Data)
+			pl.encBuf = payload
 		}
-		h := dedup.HashBytes(payload)
-		newHashes = append(newHashes, h)
+		var h dedup.Hash
+		if prof.Dedup {
+			// Content addresses exist to be announced to the server;
+			// a client without the capability never computes them.
+			h = dedup.HashBytes(payload)
+			newHashes = append(newHashes, h)
+		}
 		if prof.DeltaEncoding {
 			newSigs = append(newSigs, deltaenc.Sign(ch.Data, deltaenc.DefaultBlockSize))
 		}
@@ -110,7 +134,9 @@ func (pl *planner) PlanFile(path string, data []byte) FilePlan {
 		}
 
 		wire := pl.unitBytes(i, ch, payload, oldSigs)
-		pl.store.Put(payload)
+		if prof.Dedup {
+			pl.store.PutHashed(h, int64(len(payload)))
+		}
 		plan.Units = append(plan.Units, TransferUnit{
 			Path:     path,
 			Bytes:    wire,
@@ -119,7 +145,9 @@ func (pl *planner) PlanFile(path string, data []byte) FilePlan {
 		})
 	}
 
-	pl.manifest.Set(path, newHashes)
+	if prof.Dedup {
+		pl.manifest.Set(path, newHashes)
+	}
 	if prof.DeltaEncoding {
 		pl.sigs[path] = newSigs
 	}
@@ -129,24 +157,24 @@ func (pl *planner) PlanFile(path string, data []byte) FilePlan {
 // unitBytes computes the wire size of one chunk upload, applying
 // delta encoding against the previous revision's same-index chunk
 // (Dropbox applies its rsync per chunk, Sect. 4.4) and then the
-// compression policy.
+// compression policy. Only transmitted sizes matter to the plan, so
+// compression runs in size-only mode and never materialises output.
 func (pl *planner) unitBytes(idx int, ch chunker.Chunk, payload []byte, oldSigs []*deltaenc.Signature) int64 {
 	prof := pl.profile
 	if prof.DeltaEncoding && idx < len(oldSigs) && oldSigs[idx] != nil {
 		d := deltaenc.Compute(oldSigs[idx], ch.Data)
 		// The literal bytes still benefit from compression; the
 		// copy-op framing does not.
-		lits := make([]byte, 0, d.LiteralBytes())
+		lits := pl.litBuf[:0]
 		for _, op := range d.Ops {
 			if !op.Copy {
 				lits = append(lits, op.Literal...)
 			}
 		}
-		res := compressor.Apply(prof.Compression, lits)
-		return int64(len(res.Data)) + (d.WireSize() - d.LiteralBytes())
+		pl.litBuf = lits
+		return compressor.TransmitSize(prof.Compression, lits) + (d.WireSize() - d.LiteralBytes())
 	}
-	res := compressor.Apply(prof.Compression, payload)
-	return int64(len(res.Data))
+	return compressor.TransmitSize(prof.Compression, payload)
 }
 
 // ForgetFile drops client-side state for a deleted path. The server

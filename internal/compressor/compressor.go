@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"compress/flate"
 	"fmt"
+	"sync"
 )
 
 // Policy selects a compression behaviour.
@@ -77,19 +78,69 @@ func Apply(p Policy, data []byte) Result {
 	}
 }
 
-func deflate(data []byte) Result {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, Level)
+// writers pools flate compressor state (several hundred kB each, the
+// dominant allocation of the old per-call flate.NewWriter) across the
+// many per-chunk size computations of a benchmark campaign. DEFLATE
+// output depends only on the input and level, so pooling never changes
+// a transmitted size.
+var writers = sync.Pool{New: func() any {
+	w, err := flate.NewWriter(nil, Level)
 	if err != nil {
 		panic(err) // only on invalid level
 	}
+	return w
+}}
+
+func deflate(data []byte) Result {
+	var buf bytes.Buffer
+	w := writers.Get().(*flate.Writer)
+	w.Reset(&buf)
 	if _, err := w.Write(data); err != nil {
 		panic(err) // bytes.Buffer cannot fail
 	}
 	if err := w.Close(); err != nil {
 		panic(err)
 	}
+	writers.Put(w)
 	return Result{Data: buf.Bytes(), Compressed: true}
+}
+
+// countWriter discards output, keeping only its size.
+type countWriter int64
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
+}
+
+// TransmitSize returns the transmitted byte count Apply would produce
+// without materialising the compressed output — the upload planner
+// only ever needs the size. The count is exact: DEFLATE is
+// deterministic, so counting bytes into a sink yields the same number
+// as buffering them.
+func TransmitSize(p Policy, data []byte) int64 {
+	switch p {
+	case None:
+		return int64(len(data))
+	case Smart:
+		if LooksCompressed(data) {
+			return int64(len(data))
+		}
+	case Always:
+	default:
+		panic(fmt.Sprintf("compressor: unknown policy %d", int(p)))
+	}
+	var n countWriter
+	w := writers.Get().(*flate.Writer)
+	w.Reset(&n)
+	if _, err := w.Write(data); err != nil {
+		panic(err) // countWriter cannot fail
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	writers.Put(w)
+	return int64(n)
 }
 
 // Decompress reverses Apply for a compressed result.

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
@@ -15,6 +18,15 @@ const DefaultReps = 24
 // DefaultJitter is the RTT jitter fraction used by benchmark
 // campaigns, giving repetitions their dispersion.
 const DefaultJitter = 0.10
+
+// CampaignWorkers is the fan-out of the campaign engine: how many
+// repetitions run concurrently, each on its own testbed. Zero (the
+// default) means one worker per available CPU. Set to 1 to force the
+// sequential engine; results are bit-identical either way, because
+// every repetition derives all randomness from its own seed and lands
+// in its repetition slot regardless of scheduling. cmd/cloudbench
+// exposes this as -parallel.
+var CampaignWorkers int
 
 // RunSync executes one repetition of a synchronization benchmark:
 // fresh testbed, login, settle, materialize the batch, let the client
@@ -32,43 +44,94 @@ func RunSync(p client.Profile, batch workload.Batch, seed int64, jitter float64)
 }
 
 // MeasureWindow computes the Sect. 5 metrics for the benchmark window
-// starting at t0, for a workload of contentBytes.
+// starting at t0, for a workload of contentBytes. The window is a
+// zero-copy view over the trace and every scalar comes off two
+// single-pass scans (one per flow selection: all flows, storage
+// flows).
 func MeasureWindow(tb *Testbed, t0 time.Time, contentBytes int64) Metrics {
 	win := tb.Cap.Window(t0, trace.FarFuture)
-	storage := tb.StorageFilter(t0)
+	storage := win.Analyze(tb.StorageFilter(t0))
+	all := win.Analyze(trace.AllFlows)
 
 	var m Metrics
-	first, ok1 := win.FirstPayloadTime(storage)
-	last, ok2 := win.LastPayloadTime(storage)
-	if ok1 {
-		m.Startup = first.Sub(t0)
+	if storage.HasPayload {
+		m.Startup = storage.FirstPayload.Sub(t0)
+		m.Completion = storage.LastPayload.Sub(storage.FirstPayload)
 	}
-	if ok1 && ok2 {
-		m.Completion = last.Sub(first)
-	}
-	m.TotalTraffic = win.TotalWireBytes(trace.AllFlows)
-	m.StorageUp = win.WireBytesDir(storage, trace.Upstream)
+	m.TotalTraffic = all.TotalWire
+	m.StorageUp = storage.WireUp
 	if contentBytes > 0 {
 		m.Overhead = float64(m.TotalTraffic) / float64(contentBytes)
 	}
-	m.Connections = win.ConnectionCount(trace.AllFlows)
+	m.Connections = all.Connections
 	if m.Completion > 0 && contentBytes > 0 {
 		m.GoodputBps = float64(contentBytes*8) / m.Completion.Seconds()
 	}
 	return m
 }
 
+// campaignSeed derives the seed of one repetition from the campaign
+// base seed — the same derivation the sequential engine always used,
+// so campaigns are reproducible across engine versions and worker
+// counts.
+func campaignSeed(baseSeed int64, rep int) int64 {
+	return baseSeed + int64(rep)*7919
+}
+
+// runReps executes fn for repetition indices 0..reps-1 on a bounded
+// worker pool and returns the results in repetition order. Each
+// repetition must derive everything from its index (seed, testbed),
+// which makes the output independent of worker count and scheduling.
+func runReps(reps, workers int, fn func(rep int) Metrics) []Metrics {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	runs := make([]Metrics, reps)
+	if workers <= 1 {
+		for i := range runs {
+			runs[i] = fn(i)
+		}
+		return runs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= reps {
+					return
+				}
+				runs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return runs
+}
+
 // RunCampaign repeats one benchmark the paper's way — Reps repetitions
-// with independent randomness — and aggregates.
+// with independent randomness — and aggregates. Repetitions fan out
+// over CampaignWorkers concurrent testbeds; the summary is
+// bit-identical to a sequential run of the same base seed.
 func RunCampaign(p client.Profile, batch workload.Batch, reps int, baseSeed int64) Summary {
+	return RunCampaignParallel(p, batch, reps, baseSeed, CampaignWorkers)
+}
+
+// RunCampaignParallel is RunCampaign with an explicit worker count
+// (0 = one per CPU, 1 = sequential).
+func RunCampaignParallel(p client.Profile, batch workload.Batch, reps int, baseSeed int64, workers int) Summary {
 	if reps <= 0 {
 		reps = DefaultReps
 	}
-	runs := make([]Metrics, 0, reps)
-	for i := 0; i < reps; i++ {
-		runs = append(runs, RunSync(p, batch, baseSeed+int64(i)*7919, DefaultJitter))
-	}
-	return Summarize(runs)
+	return Summarize(runReps(reps, workers, func(rep int) Metrics {
+		return RunSync(p, batch, campaignSeed(baseSeed, rep), DefaultJitter)
+	}))
 }
 
 // IdleResult is one service's Fig. 1 dataset: the cumulative traffic
@@ -102,14 +165,15 @@ func RunIdle(p client.Profile, seed int64) IdleResult {
 	tb.Sched.RunUntil(end)
 
 	win := tb.Cap.Window(t0, end)
-	loginWin := tb.Cap.Window(t0, loginDone)
-	idleBytes := win.TotalWireBytes(trace.AllFlows) - loginWin.TotalWireBytes(trace.AllFlows)
+	all := win.Analyze(trace.AllFlows)
+	login := tb.Cap.Window(t0, loginDone).Analyze(trace.AllFlows)
+	idleBytes := all.TotalWire - login.TotalWire
 	idleSecs := end.Sub(loginDone).Seconds()
 
 	return IdleResult{
 		Service:     p.Service,
 		Timeline:    win.CumulativeBytes(trace.AllFlows),
-		LoginBytes:  loginWin.TotalWireBytes(trace.AllFlows),
+		LoginBytes:  login.TotalWire,
 		IdleRateBps: float64(idleBytes*8) / idleSecs,
 	}
 }
@@ -137,7 +201,7 @@ func RunSYNCount(p client.Profile, batch workload.Batch, seed int64) SYNSeries {
 	win := tb.Cap.Window(t0, trace.FarFuture)
 	var out SYNSeries
 	out.Service = p.Service
-	for _, ts := range win.SYNTimes(trace.AllFlows) {
+	for _, ts := range win.Analyze(trace.AllFlows).SYNTimes {
 		out.Times = append(out.Times, ts.Sub(t0))
 	}
 	m := MeasureWindow(tb, t0, batch.Total())

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/workload"
+)
+
+// goldenBatches are the workloads pinned by the golden run: the
+// paper's 100x10 kB stress batch and a compressible 1 MB text file
+// (which exercises chunking, compression, delta signatures and —
+// for Wuala — encryption).
+var goldenBatches = []workload.Batch{
+	{Count: 100, Size: 10_000, Kind: workload.Binary},
+	{Count: 1, Size: 1 << 20, Kind: workload.Text},
+}
+
+// goldenMetrics pins RunSync output for every profile at fixed seeds,
+// captured from the pre-rewrite sequential engine (per-metric trace
+// scans, copying Window, per-call flate writers, unconditional chunk
+// hashing). The rewritten engine must reproduce these bit for bit:
+// any drift means an "optimization" changed simulated behaviour.
+var goldenMetrics = []struct {
+	service string
+	batch   int
+	want    Metrics
+}{
+	{"dropbox", 0, Metrics{Startup: 3618556849, Completion: 7377955463, TotalTraffic: 1157134, StorageUp: 1093251, Overhead: 1.157134, Connections: 1, GoodputBps: 1.084311235018904e+06}},
+	{"dropbox", 1, Metrics{Startup: 1524505092, Completion: 835085556, TotalTraffic: 290567, StorageUp: 251976, Overhead: 0.27710628509521484, Connections: 1, GoodputBps: 1.0045207870892692e+07}},
+	{"skydrive", 0, Metrics{Startup: 22544335887, Completion: 41010209563, TotalTraffic: 1490229, StorageUp: 1141554, Overhead: 1.490229, Connections: 1, GoodputBps: 195073.3752703794}},
+	{"skydrive", 1, Metrics{Startup: 8717610428, Completion: 3407952466, TotalTraffic: 1160804, StorageUp: 1120481, Overhead: 1.1070289611816406, Connections: 1, GoodputBps: 2.461480341551219e+06}},
+	{"wuala", 0, Metrics{Startup: 8655465074, Completion: 14109125534, TotalTraffic: 1446523, StorageUp: 1119540, Overhead: 1.446523, Connections: 1, GoodputBps: 567008.9177902413}},
+	{"wuala", 1, Metrics{Startup: 4041127880, Completion: 278554968, TotalTraffic: 1132712, StorageUp: 1097694, Overhead: 1.0802383422851562, Connections: 1, GoodputBps: 3.011473125117625e+07}},
+	{"googledrive", 0, Metrics{Startup: 3514790226, Completion: 44344617729, TotalTraffic: 2363566, StorageUp: 1592656, Overhead: 2.363566, Connections: 100, GoodputBps: 180405.2083364392}},
+	{"googledrive", 1, Metrics{Startup: 2788464023, Completion: 215088465, TotalTraffic: 274957, StorageUp: 252472, Overhead: 0.2622194290161133, Connections: 1, GoodputBps: 3.900073395381756e+07}},
+	{"clouddrive", 0, Metrics{Startup: 5599206005, Completion: 63112842335, TotalTraffic: 4169526, StorageUp: 1242600, Overhead: 4.169526, Connections: 400, GoodputBps: 126757.08626045355}},
+	{"clouddrive", 1, Metrics{Startup: 3622693704, Completion: 682413499, TotalTraffic: 1179773, StorageUp: 1119953, Overhead: 1.1251192092895508, Connections: 4, GoodputBps: 1.2292558708601981e+07}},
+}
+
+// TestGoldenMetricsAllProfiles proves the rewritten measurement engine
+// (single-pass Analyze, zero-copy Window, reorder-buffer Record,
+// capability-gated planner, size-only compression, fast-path CDC
+// split) produces byte-identical Metrics to the seed implementation
+// for fixed seeds across all profiles.
+func TestGoldenMetricsAllProfiles(t *testing.T) {
+	for _, g := range goldenMetrics {
+		p, ok := client.ProfileFor(g.service)
+		if !ok {
+			t.Fatalf("unknown service %q", g.service)
+		}
+		got := RunSync(p, goldenBatches[g.batch], 42+int64(g.batch), DefaultJitter)
+		if got != g.want {
+			t.Errorf("%s/batch%d: metrics drifted from seed engine\n got %+v\nwant %+v",
+				g.service, g.batch, got, g.want)
+		}
+	}
+}
+
+// TestGoldenUploadVolumes pins the delta-encoding and compression
+// paths (planner unitBytes: literal-buffer reuse, pooled size-only
+// DEFLATE) against seed-captured upload volumes.
+func TestGoldenUploadVolumes(t *testing.T) {
+	dropbox := client.Dropbox()
+	if got := Fig4DeltaSeries(dropbox, ModAppend, []int64{1 << 20}, 100<<10, 7)[0].Upload; got != 114021 {
+		t.Errorf("fig4 dropbox append upload = %d, want 114021", got)
+	}
+	if got := Fig4DeltaSeries(dropbox, ModRandom, []int64{10 << 20}, 100<<10, 7)[0].Upload; got != 247088 {
+		t.Errorf("fig4 dropbox random upload = %d, want 247088", got)
+	}
+	for _, tc := range []struct {
+		service string
+		want    int64
+	}{{"dropbox", 252076}, {"googledrive", 252637}, {"wuala", 1097034}} {
+		p, _ := client.ProfileFor(tc.service)
+		if got := Fig5CompressionSeries(p, workload.Text, []int64{1 << 20}, 11)[0].Upload; got != tc.want {
+			t.Errorf("fig5 %s text upload = %d, want %d", tc.service, got, tc.want)
+		}
+	}
+}
+
+// TestCampaignParallelEquivalence proves the worker-pool campaign
+// engine is bit-identical to the sequential engine: same seeds, same
+// slots, same Summary, regardless of worker count.
+func TestCampaignParallelEquivalence(t *testing.T) {
+	batch := workload.Batch{Count: 20, Size: 10_000, Kind: workload.Binary}
+	p := client.CloudDrive()
+	seq := RunCampaignParallel(p, batch, 6, 42, 1)
+	for _, workers := range []int{2, 4, 0} {
+		par := RunCampaignParallel(p, batch, 6, 42, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: summary differs from sequential engine\n seq %+v\n par %+v",
+				workers, seq, par)
+		}
+	}
+}
+
+// TestMeasureWindowBoundary pins the half-open [t0, FarFuture) window
+// semantics through the measurement path: packets recorded strictly
+// before t0 (login, settle) must not leak into the benchmark window.
+func TestMeasureWindowBoundary(t *testing.T) {
+	p := client.Dropbox()
+	tb := NewTestbed(p, 5, 0)
+	start := tb.Settle()
+	preTraffic := tb.Cap.Window(tb.Cap.Packets()[0].Time, start).TotalWireBytes(nil)
+	if preTraffic == 0 {
+		t.Fatal("login produced no traffic")
+	}
+	t0 := tb.Clock.Now()
+	m := MeasureWindow(tb, t0, 0)
+	if m.TotalTraffic != 0 {
+		t.Errorf("benchmark window sees %d bytes of pre-window traffic", m.TotalTraffic)
+	}
+}

@@ -72,7 +72,7 @@ func AnalyzeProtocols(p client.Profile, seed int64) ProtocolReport {
 	// Login phase: distinct server addresses and volume.
 	loginWin := tb.Cap.Window(t0, loginDone)
 	addrs := map[string]bool{}
-	active := loginWin.FlowsWithTraffic()
+	active := loginWin.FlowsWithTraffic() // []bool indexed by FlowID
 	for _, f := range loginWin.Flows() {
 		if active[f.ID] {
 			addrs[f.Key.ServerAddr] = true

@@ -152,11 +152,11 @@ func fig6FromVantage(p client.Profile, v Vantage, reps int, seed int64) Fig6Resu
 	batches := workload.StandardBenchmarks(workload.Binary)
 	out := Fig6Result{Service: p.Service, Workloads: batches}
 	for i, b := range batches {
-		runs := make([]Metrics, 0, reps)
-		for r := 0; r < reps; r++ {
-			s := seed + int64(i)*100003 + int64(r)*7919
-			runs = append(runs, RunSyncFrom(p, b, v, s, DefaultJitter))
-		}
+		b := b
+		base := seed + int64(i)*100003
+		runs := runReps(reps, CampaignWorkers, func(r int) Metrics {
+			return RunSyncFrom(p, b, v, campaignSeed(base, r), DefaultJitter)
+		})
 		out.Summaries = append(out.Summaries, Summarize(runs))
 	}
 	return out

@@ -35,8 +35,20 @@ func DeriveKey(plain []byte) Key {
 // there is no MAC because the content address (hash of ciphertext)
 // already provides integrity in the storage protocol.
 func Encrypt(plain []byte) ([]byte, Key) {
+	return EncryptInto(nil, plain)
+}
+
+// EncryptInto is Encrypt writing the ciphertext into dst (grown as
+// needed), letting a caller that encrypts chunk after chunk reuse one
+// scratch buffer instead of allocating per chunk.
+func EncryptInto(dst, plain []byte) ([]byte, Key) {
 	key := DeriveKey(plain)
-	return crypt(plain, key), key
+	if cap(dst) < len(plain) {
+		dst = make([]byte, len(plain))
+	}
+	dst = dst[:len(plain)]
+	cryptInto(dst, plain, key)
+	return dst, key
 }
 
 // Decrypt reverses Encrypt given the convergent key.
@@ -46,12 +58,16 @@ func Decrypt(ciphertext []byte, key Key) []byte {
 
 // crypt applies AES-CTR with the key-derived IV (CTR is an involution).
 func crypt(data []byte, key Key) []byte {
+	out := make([]byte, len(data))
+	cryptInto(out, data, key)
+	return out
+}
+
+func cryptInto(dst, data []byte, key Key) {
 	block, err := aes.NewCipher(key[:])
 	if err != nil {
 		panic(err) // fixed, valid key size
 	}
 	ivSrc := sha256.Sum256(key[:])
-	out := make([]byte, len(data))
-	cipher.NewCTR(block, ivSrc[:aes.BlockSize]).XORKeyStream(out, data)
-	return out
+	cipher.NewCTR(block, ivSrc[:aes.BlockSize]).XORKeyStream(dst, data)
 }

@@ -51,14 +51,24 @@ func (s *Store) Has(h Hash) bool {
 // already-present chunk is a no-op (and counts as a dedup hit).
 func (s *Store) Put(data []byte) (h Hash, isNew bool) {
 	h = HashBytes(data)
+	_, present := s.sizes[h]
+	s.PutHashed(h, int64(len(data)))
+	return h, !present
+}
+
+// PutHashed is Put for a caller that already computed the content
+// address (the deduplicating client hashes every chunk before asking
+// the server about it, so hashing twice per chunk is pure waste). It
+// returns the hash for symmetry with Put.
+func (s *Store) PutHashed(h Hash, size int64) Hash {
 	if _, ok := s.sizes[h]; ok {
 		s.hits++
-		return h, false
+		return h
 	}
-	s.sizes[h] = int64(len(data))
-	s.bytes += int64(len(data))
+	s.sizes[h] = size
+	s.bytes += size
 	s.puts++
-	return h, true
+	return h
 }
 
 // Size returns the stored size of a chunk, or 0 if absent.

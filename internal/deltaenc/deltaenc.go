@@ -224,12 +224,16 @@ type rolling struct {
 }
 
 func (r *rolling) init(block []byte) {
-	r.a, r.b = 0, 0
-	r.n = uint32(len(block))
-	for i, c := range block {
-		r.a += uint32(c)
-		r.b += uint32(len(block)-i) * uint32(c)
+	// b = sum over i of (n-i)*block[i], accumulated multiply-free:
+	// adding the running a after each byte gives every byte one more
+	// contribution per remaining position.
+	var a, b uint32
+	for _, c := range block {
+		a += uint32(c)
+		b += a
 	}
+	r.a, r.b = a, b
+	r.n = uint32(len(block))
 }
 
 func (r *rolling) roll(out, in byte) {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"sort"
 	"time"
 )
 
@@ -13,96 +14,133 @@ import (
 //   - burst detection            -> sequential-upload detection (Sect. 4.2)
 //   - pause detection            -> chunk-size inference (Sect. 4.1)
 //   - cumulative byte timeline   -> idle/background traffic (Fig. 1)
+//
+// The scalar metrics all derive from one single-pass scan, Analyze:
+// the measurement engine calls it once per (window, filter) pair and
+// reads every Sect. 5 number off the result, where it previously
+// re-scanned the trace once per metric. The historical per-metric
+// methods survive as thin wrappers.
+
+// Analysis is every scalar trace metric over one flow selection,
+// computed in a single scan by Analyze.
+type Analysis struct {
+	// Packets counts the selected trace records.
+	Packets int
+
+	// TotalWire is on-the-wire bytes in both directions, including
+	// pure-ACK accounting (TotalWireBytes).
+	TotalWire int64
+	// WireUp/WireDown are directional wire bytes; ACK bytes carried
+	// on a data record count towards the opposite direction, exactly
+	// as WireBytesDir reports them. TotalWire == WireUp + WireDown.
+	WireUp, WireDown int64
+	// PayloadUp/PayloadDown are directional application payload bytes
+	// (PayloadBytesDir).
+	PayloadUp, PayloadDown int64
+
+	// FirstPayload/LastPayload bracket the payload-carrying packets;
+	// valid only when HasPayload is true. The paper measures
+	// completion time between these two instants, tear-down excluded.
+	FirstPayload, LastPayload time.Time
+	HasPayload                bool
+
+	// SYNTimes are the client-initiated SYN instants in trace order;
+	// Connections == len(SYNTimes) (Fig. 3).
+	SYNTimes    []time.Time
+	Connections int
+}
+
+// Analyze computes every scalar metric over the selected flows in one
+// scan of the trace. It is the workhorse behind MeasureWindow and the
+// per-metric convenience methods.
+func (c *Capture) Analyze(f FlowFilter) Analysis {
+	c.flush()
+	set := c.flowSet(f)
+	var a Analysis
+	for i := range c.packets {
+		p := &c.packets[i]
+		if !set[p.Flow] {
+			continue
+		}
+		a.Packets++
+		a.TotalWire += p.Wire + p.AckWire
+		if p.Dir == Upstream {
+			a.WireUp += p.Wire
+			a.WireDown += p.AckWire
+			a.PayloadUp += p.Payload
+			if p.Flags.SYN && !p.Flags.ACK {
+				a.SYNTimes = append(a.SYNTimes, p.Time)
+			}
+		} else {
+			a.WireDown += p.Wire
+			a.WireUp += p.AckWire
+			a.PayloadDown += p.Payload
+		}
+		if p.Payload > 0 {
+			if !a.HasPayload {
+				a.FirstPayload = p.Time
+				a.HasPayload = true
+			}
+			a.LastPayload = p.Time
+		}
+	}
+	a.Connections = len(a.SYNTimes)
+	return a
+}
 
 // TotalWireBytes sums on-the-wire bytes in both directions over the
 // selected flows, including pure-ACK accounting.
 func (c *Capture) TotalWireBytes(f FlowFilter) int64 {
-	set := c.flowSet(f)
-	var total int64
-	for _, p := range c.packets {
-		if set[p.Flow] {
-			total += p.Wire + p.AckWire
-		}
-	}
-	return total
+	return c.Analyze(f).TotalWire
 }
 
 // WireBytesDir sums on-the-wire bytes in one direction. ACK bytes
 // carried on a data record count towards the opposite direction (the
 // receiver emits them).
 func (c *Capture) WireBytesDir(f FlowFilter, dir Direction) int64 {
-	set := c.flowSet(f)
-	var total int64
-	for _, p := range c.packets {
-		if !set[p.Flow] {
-			continue
-		}
-		if p.Dir == dir {
-			total += p.Wire
-		} else {
-			total += p.AckWire
-		}
+	a := c.Analyze(f)
+	if dir == Upstream {
+		return a.WireUp
 	}
-	return total
+	return a.WireDown
 }
 
 // PayloadBytesDir sums application payload bytes in one direction.
 func (c *Capture) PayloadBytesDir(f FlowFilter, dir Direction) int64 {
-	set := c.flowSet(f)
-	var total int64
-	for _, p := range c.packets {
-		if set[p.Flow] && p.Dir == dir {
-			total += p.Payload
-		}
+	a := c.Analyze(f)
+	if dir == Upstream {
+		return a.PayloadUp
 	}
-	return total
+	return a.PayloadDown
 }
 
 // FirstPayloadTime returns the time of the first payload-carrying
 // packet over the selected flows. ok is false if none exists. This is
 // the paper's synchronization-start event ("the first storage flow").
 func (c *Capture) FirstPayloadTime(f FlowFilter) (t time.Time, ok bool) {
-	set := c.flowSet(f)
-	for _, p := range c.packets {
-		if set[p.Flow] && p.HasPayload() {
-			return p.Time, true
-		}
-	}
-	return time.Time{}, false
+	a := c.Analyze(f)
+	return a.FirstPayload, a.HasPayload
 }
 
 // LastPayloadTime returns the time of the last payload-carrying packet
 // over the selected flows. The paper measures completion time between
 // the first and last packet with payload, ignoring TCP tear-down.
 func (c *Capture) LastPayloadTime(f FlowFilter) (t time.Time, ok bool) {
-	set := c.flowSet(f)
-	for i := len(c.packets) - 1; i >= 0; i-- {
-		p := c.packets[i]
-		if set[p.Flow] && p.HasPayload() {
-			return p.Time, true
-		}
-	}
-	return time.Time{}, false
+	a := c.Analyze(f)
+	return a.LastPayload, a.HasPayload
 }
 
 // SYNTimes returns the timestamps of client-initiated SYN packets over
 // the selected flows, in capture order. Plotting len(prefix) against
 // time reproduces Fig. 3.
 func (c *Capture) SYNTimes(f FlowFilter) []time.Time {
-	set := c.flowSet(f)
-	var out []time.Time
-	for _, p := range c.packets {
-		if set[p.Flow] && p.Flags.SYN && !p.Flags.ACK && p.Dir == Upstream {
-			out = append(out, p.Time)
-		}
-	}
-	return out
+	return c.Analyze(f).SYNTimes
 }
 
 // ConnectionCount returns the number of client-initiated connections
 // over the selected flows (SYN count, excluding SYN-ACKs).
 func (c *Capture) ConnectionCount(f FlowFilter) int {
-	return len(c.SYNTimes(f))
+	return c.Analyze(f).Connections
 }
 
 // TimelinePoint is one step of a cumulative byte timeline.
@@ -115,6 +153,7 @@ type TimelinePoint struct {
 // selected flows (both directions), one point per packet. Fig. 1 plots
 // this for control traffic while the client is idle.
 func (c *Capture) CumulativeBytes(f FlowFilter) []TimelinePoint {
+	c.flush()
 	set := c.flowSet(f)
 	var out []TimelinePoint
 	var total int64
@@ -141,6 +180,7 @@ type Burst struct {
 // Bursts splits the upstream payload traffic of the selected flows
 // into bursts separated by quiet gaps of at least gap.
 func (c *Capture) Bursts(f FlowFilter, gap time.Duration) []Burst {
+	c.flush()
 	set := c.flowSet(f)
 	var out []Burst
 	var cur *Burst
@@ -182,6 +222,7 @@ type Pause struct {
 // cumulative payload uploaded before each pause. Differencing the
 // BytesBefore values recovers the chunk size.
 func (c *Capture) UploadPauses(f FlowFilter, gap time.Duration) []Pause {
+	c.flush()
 	set := c.flowSet(f)
 	var out []Pause
 	var last time.Time
@@ -218,6 +259,7 @@ func (c *Capture) ThroughputTimeline(f FlowFilter, bucket time.Duration) []RateP
 	if bucket <= 0 {
 		panic("trace: non-positive throughput bucket")
 	}
+	c.flush()
 	set := c.flowSet(f)
 	var first, last time.Time
 	seen := false
@@ -255,8 +297,10 @@ func (c *Capture) ThroughputTimeline(f FlowFilter, bucket time.Duration) []RateP
 // paper uses per-flow sizes to tell Wuala's storage flows from its
 // control flows, since Wuala does not split them by server name.
 func (c *Capture) FlowBytes() []int64 {
+	c.flush()
 	out := make([]int64, len(c.flows))
-	for _, p := range c.packets {
+	for i := range c.packets {
+		p := &c.packets[i]
 		out[p.Flow] += p.Wire + p.AckWire
 	}
 	return out
@@ -269,12 +313,18 @@ var FarFuture = time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC)
 // Window returns a filter-independent sub-capture containing only the
 // packets in [from, to), preserving flow metadata. It is used to
 // analyze phases (login vs idle) separately.
+//
+// The view is zero-copy: it is located by binary search over the
+// time-sorted trace and aliases the parent's backing store. Packets
+// recorded after the view is taken do not appear in it; the view
+// remains a valid snapshot either way.
 func (c *Capture) Window(from, to time.Time) *Capture {
-	sub := &Capture{flows: c.flows}
-	for _, p := range c.packets {
-		if !p.Time.Before(from) && p.Time.Before(to) {
-			sub.packets = append(sub.packets, p)
-		}
-	}
-	return sub
+	c.flush()
+	lo := sort.Search(len(c.packets), func(i int) bool {
+		return !c.packets[i].Time.Before(from)
+	})
+	hi := lo + sort.Search(len(c.packets)-lo, func(i int) bool {
+		return !c.packets[lo+i].Time.Before(to)
+	})
+	return &Capture{packets: c.packets[lo:hi:hi], flows: c.flows}
 }

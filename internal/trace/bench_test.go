@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// benchCapture builds a large mostly-in-order trace shaped like a real
+// benchmark run: many flows, occasional stragglers, ~10% SYN/control
+// records.
+func benchCapture(n int) *Capture {
+	c := NewCapture()
+	nFlows := 64
+	for i := 0; i < nFlows; i++ {
+		name := "storage.example"
+		if i%4 == 0 {
+			name = "control.example"
+		}
+		c.OpenFlow(FlowKey{ClientPort: 40000 + i, ServerPort: 443}, name, t0)
+	}
+	now := t0
+	for i := 0; i < n; i++ {
+		ts := now
+		if i%16 == 5 {
+			ts = now.Add(-3 * time.Millisecond) // straggler
+		} else {
+			now = now.Add(time.Millisecond)
+		}
+		p := Packet{
+			Time: ts, Flow: FlowID(i % nFlows), Dir: Direction(i % 2),
+			Payload: int64(i%3) * 1460, Wire: 1500, AckWire: 66, Segments: 2,
+		}
+		if i%10 == 0 {
+			p = Packet{Time: ts, Flow: FlowID(i % nFlows), Dir: Upstream,
+				Flags: Flags{SYN: true}, Wire: 74, Segments: 1}
+		}
+		c.Record(p)
+	}
+	c.flush()
+	return c
+}
+
+func storageFilter(f FlowInfo) bool { return f.ServerName == "storage.example" }
+
+func BenchmarkRecord(b *testing.B) {
+	base := benchCapture(1)
+	patterns := map[string][]Packet{
+		// The common case: a capture device would see these almost in
+		// order; stragglers are displaced by a few positions.
+		"nearly-sorted": benchCapture(50_000).packets,
+		// The worst case for insert-in-place: connections simulated
+		// on independent timelines, each recording a long burst that
+		// starts before the previous connection's burst ended.
+		"interleaved-timelines": func() []Packet {
+			var out []Packet
+			for conn := 0; conn < 50; conn++ {
+				start := t0.Add(time.Duration(conn) * 100 * time.Millisecond)
+				for i := 0; i < 1000; i++ {
+					out = append(out, Packet{
+						Time: start.Add(time.Duration(i) * time.Millisecond),
+						Flow: FlowID(conn % 64), Dir: Upstream,
+						Payload: 1460, Wire: 1526, Segments: 1,
+					})
+				}
+			}
+			return out
+		}(),
+	}
+	for name, packets := range patterns {
+		b.Run(name+"/new", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := &Capture{flows: base.flows}
+				for _, p := range packets {
+					c.Record(p)
+				}
+				c.flush()
+			}
+		})
+		b.Run(name+"/seed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := &refCapture{}
+				for _, p := range packets {
+					c.record(p)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWindow(b *testing.B) {
+	c := benchCapture(100_000)
+	from := t0.Add(10 * time.Second)
+	to := t0.Add(60 * time.Second)
+	b.Run("new", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Window(from, to)
+		}
+	})
+	b.Run("seed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			refWindow(c.packets, from, to)
+		}
+	})
+}
+
+// BenchmarkAnalyze contrasts the one-pass analyzer with the seed
+// scheme it replaced: six independent full scans, each materialising
+// its own flow set.
+func BenchmarkAnalyze(b *testing.B) {
+	c := benchCapture(100_000)
+	b.Run("one-pass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Analyze(storageFilter)
+		}
+	})
+	b.Run("seed-six-scans", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			refTotalWireBytes(c.packets, refSet(c.flows, storageFilter))
+			refWireBytesDir(c.packets, refSet(c.flows, storageFilter), Upstream)
+			refPayloadBytesDir(c.packets, refSet(c.flows, storageFilter), Upstream)
+			refFirstPayloadTime(c.packets, refSet(c.flows, storageFilter))
+			refLastPayloadTime(c.packets, refSet(c.flows, storageFilter))
+			refSYNTimes(c.packets, refSet(c.flows, storageFilter))
+		}
+	})
+}

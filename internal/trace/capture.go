@@ -1,6 +1,9 @@
 package trace
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // FlowInfo is the per-connection metadata the sniffer can legitimately
 // know: the 5-tuple, when the connection was opened, and the DNS name
@@ -18,9 +21,26 @@ type FlowInfo struct {
 // Capture is an in-memory packet trace: every connection the client
 // under test opened, and every packet exchanged. The zero value is an
 // empty, usable capture.
+//
+// Recording is append-only and cheap: in-order packets (the common
+// case — a capture device timestamps in true time order) go straight
+// to the sorted backing store, and out-of-order stragglers from
+// connections simulating on independent timelines land in a small
+// reorder buffer that is merged back in, stably, the first time the
+// trace is read. Analyzers therefore always observe a time-sorted
+// trace, exactly as with the previous insert-in-place scheme, without
+// the O(n)-per-packet worst case.
 type Capture struct {
 	packets []Packet
 	flows   []FlowInfo
+
+	// pending is the reorder buffer: packets recorded out of order,
+	// in arrival order, merged into packets by flush on first read.
+	pending []Packet
+	// pendingMax caches the latest timestamp inside pending so that
+	// later in-order packets can keep taking the fast path without a
+	// tie-breaking ambiguity against buffered stragglers.
+	pendingMax time.Time
 }
 
 // NewCapture returns an empty capture.
@@ -33,21 +53,64 @@ func (c *Capture) OpenFlow(key FlowKey, serverName string, at time.Time) FlowID 
 	return id
 }
 
-// Record adds a packet to the trace, keeping the trace sorted by time.
-// Connections simulate on independent timelines, so records can arrive
-// slightly out of order; a capture device would have timestamped them
-// in true time order, and the analyzers rely on that order. Insertion
-// is O(1) for the common in-order case.
+// Record adds a packet to the trace. Connections simulate on
+// independent timelines, so records can arrive slightly out of order;
+// the trace is re-established in time order (stably: equal timestamps
+// keep arrival order) before any analyzer reads it. Recording is O(1).
 func (c *Capture) Record(p Packet) {
-	c.packets = append(c.packets, p)
-	for i := len(c.packets) - 1; i > 0 && c.packets[i].Time.Before(c.packets[i-1].Time); i-- {
-		c.packets[i], c.packets[i-1] = c.packets[i-1], c.packets[i]
+	if len(c.pending) == 0 || p.Time.After(c.pendingMax) {
+		// In order with respect to everything recorded so far: no
+		// straggler in the buffer can tie or sort after it, so it can
+		// go straight to the sorted store.
+		if n := len(c.packets); n == 0 || !p.Time.Before(c.packets[n-1].Time) {
+			c.packets = append(c.packets, p)
+			return
+		}
+	}
+	c.pending = append(c.pending, p)
+	if p.Time.After(c.pendingMax) {
+		c.pendingMax = p.Time
 	}
 }
 
-// Packets returns the raw records in capture order. The returned slice
+// flush merges the reorder buffer into the sorted store. The merge is
+// stable — packets already in the store sort before buffered packets
+// with equal timestamps (which is arrival order, because an equal-time
+// packet never takes the fast path past a buffered straggler), and
+// buffered packets keep their arrival order among themselves.
+func (c *Capture) flush() {
+	if len(c.pending) == 0 {
+		return
+	}
+	sort.SliceStable(c.pending, func(i, j int) bool {
+		return c.pending[i].Time.Before(c.pending[j].Time)
+	})
+	// Merge into a fresh slice so previously returned Window views and
+	// Packets slices keep observing their (valid) snapshot.
+	merged := make([]Packet, 0, len(c.packets)+len(c.pending))
+	i, j := 0, 0
+	for i < len(c.packets) && j < len(c.pending) {
+		if c.pending[j].Time.Before(c.packets[i].Time) {
+			merged = append(merged, c.pending[j])
+			j++
+		} else {
+			merged = append(merged, c.packets[i])
+			i++
+		}
+	}
+	merged = append(merged, c.packets[i:]...)
+	merged = append(merged, c.pending[j:]...)
+	c.packets = merged
+	c.pending = c.pending[:0]
+	c.pendingMax = time.Time{}
+}
+
+// Packets returns the raw records in time order. The returned slice
 // is the capture's backing store; callers must not modify it.
-func (c *Capture) Packets() []Packet { return c.packets }
+func (c *Capture) Packets() []Packet {
+	c.flush()
+	return c.packets
+}
 
 // Flows returns metadata for every connection in the capture.
 func (c *Capture) Flows() []FlowInfo { return c.flows }
@@ -59,16 +122,17 @@ func (c *Capture) Flow(id FlowID) FlowInfo { return c.flows[id] }
 func (c *Capture) NumFlows() int { return len(c.flows) }
 
 // Len returns the number of trace records.
-func (c *Capture) Len() int { return len(c.packets) }
+func (c *Capture) Len() int { return len(c.packets) + len(c.pending) }
 
 // FlowsWithTraffic reports which flows carry at least one packet in
-// this capture. On a Window sub-capture the flow metadata still spans
-// the whole session, so this is how analyzers find the connections
-// active within the window.
-func (c *Capture) FlowsWithTraffic() map[FlowID]bool {
-	out := make(map[FlowID]bool)
-	for _, p := range c.packets {
-		out[p.Flow] = true
+// this capture, indexed by FlowID. On a Window sub-capture the flow
+// metadata still spans the whole session, so this is how analyzers
+// find the connections active within the window.
+func (c *Capture) FlowsWithTraffic() []bool {
+	c.flush()
+	out := make([]bool, len(c.flows))
+	for i := range c.packets {
+		out[c.packets[i].Flow] = true
 	}
 	return out
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# bench.sh — emit a BENCH_<sha>.json performance snapshot.
+#
+# The snapshot is a valid cmd/comparebench campaign file (Fig. 6
+# results for every service) extended with a "micro" section timing
+# the measurement engine itself: the 24-rep 100x10 kB campaign through
+# the parallel and sequential engines, and the MeasureWindow path
+# against the seed copy-and-rescan baseline.
+#
+# Track the perf trajectory across commits with:
+#
+#   scripts/bench.sh                       # writes BENCH_<sha>.json
+#   comparebench -a BENCH_old.json -b BENCH_new.json
+#
+# Usage: scripts/bench.sh [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo dev)"
+out="${1:-BENCH_${sha}.json}"
+
+go run ./cmd/benchsnap -commit "${sha}" -out "${out}"
+echo "wrote ${out}"
