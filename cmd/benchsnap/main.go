@@ -3,8 +3,11 @@
 // benchmarks, so cmd/comparebench can diff snapshots across commits
 // or vantages) extended with engine microbenchmarks — the 24-rep
 // campaign wall-clock through the parallel and sequential engines,
-// and the MeasureWindow path against the seed copy-and-rescan
-// baseline. scripts/bench.sh wraps it.
+// the full campaign-of-campaigns matrix (every service x workload x
+// repetition flattened onto the shared scheduler pool, with a
+// bit-identity check against the sequential engine), and the
+// MeasureWindow path against the seed copy-and-rescan baseline.
+// scripts/bench.sh wraps it.
 //
 // Usage:
 //
@@ -24,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -48,10 +52,24 @@ type measureMicro struct {
 	SpeedupX  float64 `json:"speedup_x"`
 }
 
+// matrixMicro times the campaign-of-campaigns scheduler on the full
+// Fig. 6 experiment matrix (every service x workload x repetition
+// flattened onto one shared pool) against the forced-sequential
+// engine, and records that both produced bit-identical results.
+type matrixMicro struct {
+	Workload     string  `json:"workload"`
+	Cells        int     `json:"cells"`
+	ParallelNs   int64   `json:"parallel_ns"`
+	SequentialNs int64   `json:"sequential_ns"`
+	SpeedupX     float64 `json:"parallel_speedup_x"`
+	Identical    bool    `json:"identical"`
+}
+
 type micro struct {
 	GoMaxProcs       int             `json:"go_max_procs"`
 	CampaignWorkload string          `json:"campaign_workload"`
 	Campaign         []campaignMicro `json:"campaign"`
+	Matrix           matrixMicro     `json:"matrix"`
 	MeasureWindow    measureMicro    `json:"measure_window"`
 }
 
@@ -88,6 +106,25 @@ func main() {
 			SequentialNs:     seq.Nanoseconds(),
 			ParallelSpeedupX: ratio(seq, par),
 		})
+	}
+
+	// Campaign-of-campaigns matrix: all services, four workloads,
+	// 4 repetitions each, flattened onto the shared scheduler pool vs
+	// the forced-sequential engine.
+	const matrixReps = 4
+	profiles := client.Profiles()
+	var parRes, seqRes []core.Fig6Result
+	parWall := minWall(2, func() { parRes = core.Fig6Matrix(profiles, matrixReps, *seed) })
+	core.CampaignWorkers = 1
+	seqWall := minWall(2, func() { seqRes = core.Fig6Matrix(profiles, matrixReps, *seed) })
+	core.CampaignWorkers = 0
+	snap.Micro.Matrix = matrixMicro{
+		Workload:     fmt.Sprintf("%d services x 4 workloads x %d reps", len(profiles), matrixReps),
+		Cells:        len(profiles) * 4 * matrixReps,
+		ParallelNs:   parWall.Nanoseconds(),
+		SequentialNs: seqWall.Nanoseconds(),
+		SpeedupX:     ratio(seqWall, parWall),
+		Identical:    reflect.DeepEqual(parRes, seqRes),
 	}
 
 	tb, t0, total := syncedTestbed(client.CloudDrive(), *seed)

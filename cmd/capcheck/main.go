@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	capcheck [-service NAME|all] [-seed N] [-verbose]
+//	capcheck [-service NAME|all] [-seed N] [-verbose] [-parallel N]
+//
+// -parallel fans the service x detector matrix out over a shared
+// worker pool (0 = one worker per CPU, 1 = sequential); detections
+// are bit-identical at any setting.
 package main
 
 import (
@@ -18,11 +22,17 @@ import (
 
 func main() {
 	var (
-		service = flag.String("service", "all", "service to check, or all")
-		seed    = flag.Int64("seed", 42, "random seed")
-		verbose = flag.Bool("verbose", false, "print per-test details")
+		service  = flag.String("service", "all", "service to check, or all")
+		seed     = flag.Int64("seed", 42, "random seed")
+		verbose  = flag.Bool("verbose", false, "print per-test details")
+		parallel = flag.Int("parallel", 0, "concurrent detectors across all services (0 = one per CPU, 1 = sequential; results are identical at any setting)")
 	)
 	flag.Parse()
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "-parallel must be >= 0 (got %d)\n", *parallel)
+		os.Exit(2)
+	}
+	core.CampaignWorkers = *parallel
 
 	var profiles []client.Profile
 	if *service == "all" {
@@ -36,11 +46,10 @@ func main() {
 		profiles = []client.Profile{p}
 	}
 
-	caps := map[string]core.Capabilities{}
+	caps := core.DetectCapabilitiesAll(profiles, *seed)
 	var order []string
 	for _, p := range profiles {
-		c := core.DetectCapabilities(p, *seed)
-		caps[p.Service] = c
+		c := caps[p.Service]
 		order = append(order, p.Service)
 		if *verbose {
 			b := core.DetectBundling(p, *seed)

@@ -9,11 +9,15 @@
 //
 // Experiments: table1, fig1, fig3, fig4, fig5, fig6, discover, all.
 //
-// -parallel sets the campaign fan-out: how many benchmark repetitions
-// run concurrently, each on its own isolated testbed (0 = one worker
-// per CPU, 1 = the classic sequential engine). Repetition seeds are
-// derived from the repetition index, so results are bit-identical at
-// any worker count; -parallel only changes wall-clock time.
+// -parallel sets the fan-out of the whole experiment matrix: every
+// independent cell — benchmark repetitions, Fig. 4/5 sweep sizes,
+// capability detectors, (service, workload, vantage) combinations —
+// runs concurrently on its own isolated testbed, drawing from one
+// shared worker budget (0 = one worker per CPU, 1 = the classic
+// sequential engine; nested fan-outs never oversubscribe). Every cell
+// derives all randomness from its own index, so results are
+// bit-identical at any worker count; -parallel only changes
+// wall-clock time.
 package main
 
 import (
@@ -37,7 +41,7 @@ func main() {
 		reps       = flag.Int("reps", core.DefaultReps, "repetitions per benchmark (the paper uses 24)")
 		seed       = flag.Int64("seed", 42, "base random seed")
 		doPlot     = flag.Bool("plot", false, "render ASCII charts for figs 1, 3 and 6")
-		parallel   = flag.Int("parallel", 0, "concurrent campaign repetitions (0 = one per CPU, 1 = sequential; results are identical at any setting)")
+		parallel   = flag.Int("parallel", 0, "concurrent experiment cells across the whole matrix (0 = one per CPU, 1 = sequential; results are identical at any setting)")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -126,10 +130,9 @@ func selectProfiles(service string) ([]client.Profile, error) {
 
 func table1(profiles []client.Profile, seed int64) {
 	fmt.Println("== Table 1: capabilities per service (detected from traffic) ==")
-	caps := map[string]core.Capabilities{}
+	caps := core.DetectCapabilitiesAll(profiles, seed)
 	var order []string
 	for _, p := range profiles {
-		caps[p.Service] = core.DetectCapabilities(p, seed)
 		order = append(order, p.Service)
 	}
 	fmt.Print(core.Table1(caps, order))
@@ -138,10 +141,9 @@ func table1(profiles []client.Profile, seed int64) {
 
 func fig1(profiles []client.Profile, seed int64, doPlot bool) {
 	fmt.Println("== Fig 1: background traffic while idle (16 min) ==")
-	var results []core.IdleResult
-	for _, p := range profiles {
-		results = append(results, core.RunIdle(p, seed))
-	}
+	results := core.RunN(len(profiles), 0, func(i int) core.IdleResult {
+		return core.RunIdle(profiles[i], seed)
+	})
 	fmt.Print(core.Fig1Report(results))
 	if doPlot {
 		var series []plot.Series
@@ -225,9 +227,11 @@ func fig4(profiles []client.Profile, seed int64) {
 	fmt.Println("== Fig 4: delta encoding tests (upload after modifying a file) ==")
 	for _, mod := range []core.ModKind{core.ModAppend, core.ModRandom} {
 		fmt.Printf("-- %s, +100 kB (CSV: series,file_bytes,upload_bytes)\n", mod)
-		for _, p := range profiles {
-			pts := core.Fig4DeltaSeries(p, mod, core.Fig4Sizes(mod), 100<<10, seed)
-			fmt.Print(core.VolumeSeriesCSV(p.Service+"-"+mod.String(), pts))
+		series := core.RunN(len(profiles), 0, func(i int) []core.VolumePoint {
+			return core.Fig4DeltaSeries(profiles[i], mod, core.Fig4Sizes(mod), 100<<10, seed)
+		})
+		for i, pts := range series {
+			fmt.Print(core.VolumeSeriesCSV(profiles[i].Service+"-"+mod.String(), pts))
 		}
 	}
 	fmt.Println()
@@ -237,9 +241,11 @@ func fig5(profiles []client.Profile, seed int64) {
 	fmt.Println("== Fig 5: bytes uploaded during the compression test ==")
 	for _, kind := range []workload.Kind{workload.Text, workload.Binary, workload.FakeJPEG} {
 		fmt.Printf("-- %s files (CSV: series,file_bytes,upload_bytes)\n", kind)
-		for _, p := range profiles {
-			pts := core.Fig5CompressionSeries(p, kind, core.Fig5Sizes(), seed)
-			fmt.Print(core.VolumeSeriesCSV(p.Service+"-"+kind.String(), pts))
+		series := core.RunN(len(profiles), 0, func(i int) []core.VolumePoint {
+			return core.Fig5CompressionSeries(profiles[i], kind, core.Fig5Sizes(), seed)
+		})
+		for i, pts := range series {
+			fmt.Print(core.VolumeSeriesCSV(profiles[i].Service+"-"+kind.String(), pts))
 		}
 	}
 	fmt.Println()
@@ -247,10 +253,7 @@ func fig5(profiles []client.Profile, seed int64) {
 
 func fig6(profiles []client.Profile, reps int, seed int64, doPlot bool) {
 	fmt.Printf("== Fig 6: benchmarks, %d repetitions per workload ==\n", reps)
-	var results []core.Fig6Result
-	for _, p := range profiles {
-		results = append(results, core.Fig6ForService(p, reps, seed))
-	}
+	results := core.Fig6Matrix(profiles, reps, seed)
 	fmt.Print(core.Fig6Report(results))
 	if doPlot && len(results) > 0 {
 		var labels []string

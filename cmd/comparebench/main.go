@@ -11,6 +11,11 @@
 // Compare two campaigns:
 //
 //	comparebench -a eu.json -b us.json -threshold 1.5
+//
+// With -fail-on-drift the comparison exits non-zero when any metric
+// ratio leaves the threshold band — the CI trend check
+// (scripts/trendcheck.sh) uses this to fail builds on
+// simulated-metric regressions.
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 		fileA     = flag.String("a", "", "campaign A for comparison")
 		fileB     = flag.String("b", "", "campaign B for comparison")
 		threshold = flag.Float64("threshold", 1.3, "report ratios outside [1/t, t]")
+		failDrift = flag.Bool("fail-on-drift", false, "exit non-zero when the comparison reports any difference")
 	)
 	flag.Parse()
 
@@ -61,7 +67,16 @@ func main() {
 		b := readCampaign(*fileB)
 		fmt.Printf("A: %s from %s (seed %d)\nB: %s from %s (seed %d)\n\n",
 			a.Tool, a.Vantage, a.Seed, b.Tool, b.Vantage, b.Seed)
-		fmt.Print(core.DeltaReport(core.Compare(a, b, *threshold)))
+		cells := core.ComparableCells(a, b)
+		deltas := core.Compare(a, b, *threshold)
+		fmt.Print(core.DeltaReport(deltas))
+		fmt.Printf("(%d comparable cells)\n", cells)
+		if *failDrift && cells == 0 {
+			fatalf("campaigns share no (service, workload) cells; a drift gate over a disjoint comparison proves nothing")
+		}
+		if *failDrift && len(deltas) > 0 {
+			fatalf("simulated metrics drifted: %d deltas outside threshold %.2f", len(deltas), *threshold)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)

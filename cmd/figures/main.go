@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-fig 1|2|3|4|5|6|table1|all] [-reps N] [-seed N]
+//	figures [-fig 1|2|3|4|5|6|table1|all] [-reps N] [-seed N] [-parallel N]
 package main
 
 import (
@@ -18,9 +18,10 @@ import (
 // exists because the paper's artifacts are indexed by figure number.
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "figure to regenerate (1..6, table1, all)")
-		reps = flag.Int("reps", 8, "repetitions for fig 6 (paper uses 24)")
-		seed = flag.Int64("seed", 42, "base seed")
+		fig      = flag.String("fig", "all", "figure to regenerate (1..6, table1, all)")
+		reps     = flag.Int("reps", 8, "repetitions for fig 6 (paper uses 24)")
+		seed     = flag.Int64("seed", 42, "base seed")
+		parallel = flag.Int("parallel", 0, "concurrent experiment cells (passed through to cloudbench)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 		"-experiment", exp,
 		"-reps", fmt.Sprint(*reps),
 		"-seed", fmt.Sprint(*seed),
+		"-parallel", fmt.Sprint(*parallel),
 	}
 	var cmd *exec.Cmd
 	if sibling := siblingCloudbench(self); sibling != "" {

@@ -31,12 +31,27 @@
 //     thin wrappers over it.
 //   - core.MeasureWindow reads all Sect. 5 metrics off two Analyze
 //     passes (all flows, storage flows) of one window.
-//   - core.RunCampaign fans the paper's 24 repetitions out over a
-//     bounded worker pool (core.CampaignWorkers, default one worker
-//     per CPU; cmd/cloudbench -parallel). Each repetition derives all
-//     randomness from its own seed and writes into its own slot, so
-//     campaign results are bit-identical to the sequential engine at
-//     any worker count.
+//   - core.RunN is the parallel experiment scheduler: a generic
+//     bounded-pool fan-out over arbitrary index spaces. Every
+//     campaign-of-campaigns loop rides on it — RunCampaign over
+//     repetitions, Fig6ForService/Fig6Matrix over service x workload x
+//     repetition, Fig4DeltaSeries/Fig5CompressionSeries over sweep
+//     sizes, LocationStudy over service x vantage, and
+//     DetectCapabilities(/All) over the five Sect. 4 detectors per
+//     service — so one knob (core.CampaignWorkers, default one worker
+//     per CPU; cmd/cloudbench and cmd/capcheck -parallel) governs the
+//     whole experiment matrix from a single shared worker budget.
+//     Nested fan-outs draw from the same budget, so pools never
+//     oversubscribe the machine; when the budget is spent, inner
+//     cells simply run inline on their caller's worker.
+//
+// Determinism contract: every experiment cell derives all randomness
+// from its own index (seed, testbed, RNG — see campaignSeed) and
+// writes only its own result slot, so results are bit-identical to
+// the sequential engine at any worker count and under any scheduling;
+// -parallel only changes wall-clock time. The parallel-vs-sequential
+// equivalence tests in internal/core/scheduler_test.go pin this for
+// every lifted layer.
 //
 // The golden-equivalence tests in internal/trace, internal/chunker
 // and internal/core pin the engine against the original

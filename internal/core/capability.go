@@ -28,17 +28,53 @@ type Capabilities struct {
 	DeltaEncoding    bool
 }
 
-// DetectCapabilities runs every Sect. 4 test for one service.
+// numDetectors is how many independent Sect. 4 detectors make up one
+// Table 1 row: chunking, bundling, compression, deduplication (one
+// four-step experiment yielding both Dedup and DedupAfterDelete) and
+// delta encoding.
+const numDetectors = 5
+
+// DetectCapabilities runs every Sect. 4 test for one service, the
+// five detectors fanned out over the shared scheduler pool.
 func DetectCapabilities(p client.Profile, seed int64) Capabilities {
-	return Capabilities{
-		Service:          p.Service,
-		Chunking:         DetectChunking(p, seed),
-		Bundling:         DetectBundling(p, seed).Bundling,
-		Compression:      DetectCompression(p, seed),
-		Dedup:            DetectDedup(p, seed).Dedup,
-		DedupAfterDelete: DetectDedup(p, seed+1).AfterDelete,
-		DeltaEncoding:    DetectDelta(p, seed),
+	return DetectCapabilitiesAll([]client.Profile{p}, seed)[p.Service]
+}
+
+// DetectCapabilitiesAll runs the Sect. 4 suite for every profile with
+// the whole service x detector matrix flattened onto one shared pool.
+// Each detector builds its own testbed from (profile, seed) and
+// writes only its own capability fields, so the matrix is
+// bit-identical to running the detectors one service at a time.
+func DetectCapabilitiesAll(profiles []client.Profile, seed int64) map[string]Capabilities {
+	caps := make([]Capabilities, len(profiles))
+	dedups := make([]DedupResult, len(profiles))
+	RunEach(len(profiles)*numDetectors, CampaignWorkers, func(i int) {
+		si, det := i/numDetectors, i%numDetectors
+		p := profiles[si]
+		switch det {
+		case 0:
+			caps[si].Chunking = DetectChunking(p, seed)
+		case 1:
+			caps[si].Bundling = DetectBundling(p, seed).Bundling
+		case 2:
+			caps[si].Compression = DetectCompression(p, seed)
+		case 3:
+			// One four-step experiment yields both dedup verdicts;
+			// running it twice with different seeds would report two
+			// inconsistent experiments at twice the cost.
+			dedups[si] = DetectDedup(p, seed)
+		case 4:
+			caps[si].DeltaEncoding = DetectDelta(p, seed)
+		}
+	})
+	out := make(map[string]Capabilities, len(profiles))
+	for i, p := range profiles {
+		caps[i].Service = p.Service
+		caps[i].Dedup = dedups[i].Dedup
+		caps[i].DedupAfterDelete = dedups[i].AfterDelete
+		out[p.Service] = caps[i]
 	}
+	return out
 }
 
 // estimateRTT recovers the path RTT from the TCP handshake of a flow —

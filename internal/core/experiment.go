@@ -1,9 +1,6 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
@@ -18,15 +15,6 @@ const DefaultReps = 24
 // DefaultJitter is the RTT jitter fraction used by benchmark
 // campaigns, giving repetitions their dispersion.
 const DefaultJitter = 0.10
-
-// CampaignWorkers is the fan-out of the campaign engine: how many
-// repetitions run concurrently, each on its own testbed. Zero (the
-// default) means one worker per available CPU. Set to 1 to force the
-// sequential engine; results are bit-identical either way, because
-// every repetition derives all randomness from its own seed and lands
-// in its repetition slot regardless of scheduling. cmd/cloudbench
-// exposes this as -parallel.
-var CampaignWorkers int
 
 // RunSync executes one repetition of a synchronization benchmark:
 // fresh testbed, login, settle, materialize the batch, let the client
@@ -78,46 +66,9 @@ func campaignSeed(baseSeed int64, rep int) int64 {
 	return baseSeed + int64(rep)*7919
 }
 
-// runReps executes fn for repetition indices 0..reps-1 on a bounded
-// worker pool and returns the results in repetition order. Each
-// repetition must derive everything from its index (seed, testbed),
-// which makes the output independent of worker count and scheduling.
-func runReps(reps, workers int, fn func(rep int) Metrics) []Metrics {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > reps {
-		workers = reps
-	}
-	runs := make([]Metrics, reps)
-	if workers <= 1 {
-		for i := range runs {
-			runs[i] = fn(i)
-		}
-		return runs
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= reps {
-					return
-				}
-				runs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return runs
-}
-
 // RunCampaign repeats one benchmark the paper's way — Reps repetitions
 // with independent randomness — and aggregates. Repetitions fan out
-// over CampaignWorkers concurrent testbeds; the summary is
+// over the shared scheduler pool (CampaignWorkers); the summary is
 // bit-identical to a sequential run of the same base seed.
 func RunCampaign(p client.Profile, batch workload.Batch, reps int, baseSeed int64) Summary {
 	return RunCampaignParallel(p, batch, reps, baseSeed, CampaignWorkers)
@@ -129,7 +80,7 @@ func RunCampaignParallel(p client.Profile, batch workload.Batch, reps int, baseS
 	if reps <= 0 {
 		reps = DefaultReps
 	}
-	return Summarize(runReps(reps, workers, func(rep int) Metrics {
+	return Summarize(RunN(reps, workers, func(rep int) Metrics {
 		return RunSync(p, batch, campaignSeed(baseSeed, rep), DefaultJitter)
 	}))
 }

@@ -49,8 +49,8 @@ type VolumePoint struct {
 // modified file replaces its old copy"), and measure the upload volume
 // of the second synchronization.
 func Fig4DeltaSeries(p client.Profile, mod ModKind, sizes []int64, added int64, seed int64) []VolumePoint {
-	out := make([]VolumePoint, 0, len(sizes))
-	for i, size := range sizes {
+	return RunN(len(sizes), CampaignWorkers, func(i int) VolumePoint {
+		size := sizes[i]
 		tb := NewTestbed(p, seed+int64(i)*101, 0)
 		start := tb.Settle()
 
@@ -76,17 +76,16 @@ func Fig4DeltaSeries(p client.Profile, mod ModKind, sizes []int64, added int64, 
 
 		win := tb.Cap.Window(t1, trace.FarFuture)
 		up := win.WireBytesDir(tb.StorageFilter(t1), trace.Upstream)
-		out = append(out, VolumePoint{FileSize: size, Upload: up})
-	}
-	return out
+		return VolumePoint{FileSize: size, Upload: up}
+	})
 }
 
 // Fig5CompressionSeries runs the compression test (Sect. 4.5) for one
 // service and file kind: upload files of increasing size and measure
 // the transmitted volume.
 func Fig5CompressionSeries(p client.Profile, kind workload.Kind, sizes []int64, seed int64) []VolumePoint {
-	out := make([]VolumePoint, 0, len(sizes))
-	for i, size := range sizes {
+	return RunN(len(sizes), CampaignWorkers, func(i int) VolumePoint {
+		size := sizes[i]
 		tb := NewTestbed(p, seed+int64(i)*103, 0)
 		start := tb.Settle()
 		t0 := tb.Clock.Now()
@@ -96,9 +95,8 @@ func Fig5CompressionSeries(p client.Profile, kind workload.Kind, sizes []int64, 
 		tb.Clock.AdvanceTo(res.Done)
 		win := tb.Cap.Window(t0, trace.FarFuture)
 		up := win.WireBytesDir(tb.StorageFilter(t0), trace.Upstream)
-		out = append(out, VolumePoint{FileSize: size, Upload: up})
-	}
-	return out
+		return VolumePoint{FileSize: size, Upload: up}
+	})
 }
 
 // Fig4Sizes returns the paper's x-axes: up to 2 MB for the append
@@ -125,13 +123,57 @@ type Fig6Result struct {
 	Summaries []Summary
 }
 
+// fig6Seed derives the seed of one (workload, repetition) cell of a
+// service's Fig. 6 campaign — the derivation the sequential engine
+// always used (per-workload base, campaignSeed per repetition).
+func fig6Seed(seed int64, wi, rep int) int64 {
+	return campaignSeed(seed+int64(wi)*100003, rep)
+}
+
+// fig6Summaries fans the (workload x repetition) matrix of one Fig. 6
+// campaign over the shared pool and folds it into per-workload
+// summaries. run computes one cell.
+func fig6Summaries(batches []workload.Batch, reps int, run func(wi, rep int) Metrics) []Summary {
+	runs := RunN(len(batches)*reps, CampaignWorkers, func(i int) Metrics {
+		return run(i/reps, i%reps)
+	})
+	out := make([]Summary, 0, len(batches))
+	for wi := range batches {
+		out = append(out, Summarize(runs[wi*reps:(wi+1)*reps]))
+	}
+	return out
+}
+
 // Fig6ForService runs the Sect. 5 benchmark campaign (four binary
-// workloads, `reps` repetitions each) for one service.
+// workloads, `reps` repetitions each) for one service — the
+// single-profile case of Fig6Matrix.
 func Fig6ForService(p client.Profile, reps int, seed int64) Fig6Result {
+	return Fig6Matrix([]client.Profile{p}, reps, seed)[0]
+}
+
+// Fig6Matrix runs the Fig. 6 campaign for every profile with the full
+// service x workload x repetition matrix flattened onto one shared
+// pool — the campaign-of-campaigns entry point used by cmd/cloudbench.
+// Results are bit-identical to calling Fig6ForService per profile.
+func Fig6Matrix(profiles []client.Profile, reps int, seed int64) []Fig6Result {
+	if reps <= 0 {
+		reps = DefaultReps
+	}
 	batches := workload.StandardBenchmarks(workload.Binary)
-	out := Fig6Result{Service: p.Service, Workloads: batches}
-	for i, b := range batches {
-		out.Summaries = append(out.Summaries, RunCampaign(p, b, reps, seed+int64(i)*100003))
+	perSvc := len(batches) * reps
+	runs := RunN(len(profiles)*perSvc, CampaignWorkers, func(i int) Metrics {
+		si, rest := i/perSvc, i%perSvc
+		wi, rep := rest/reps, rest%reps
+		return RunSync(profiles[si], batches[wi], fig6Seed(seed, wi, rep), DefaultJitter)
+	})
+	out := make([]Fig6Result, 0, len(profiles))
+	for si, p := range profiles {
+		r := Fig6Result{Service: p.Service, Workloads: batches}
+		for wi := range batches {
+			lo := si*perSvc + wi*reps
+			r.Summaries = append(r.Summaries, Summarize(runs[lo:lo+reps]))
+		}
+		out = append(out, r)
 	}
 	return out
 }

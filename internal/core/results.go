@@ -61,6 +61,33 @@ type Delta struct {
 	Ratio float64
 }
 
+// campaignIndex flattens a campaign's Fig. 6 results into a
+// (service|workload) -> Summary lookup.
+func campaignIndex(c Campaign) map[string]Summary {
+	m := map[string]Summary{}
+	for _, r := range c.Fig6 {
+		for i, s := range r.Summaries {
+			m[r.Service+"|"+r.Workloads[i].String()] = s
+		}
+	}
+	return m
+}
+
+// ComparableCells counts the (service, workload) cells two campaigns
+// share — the cells Compare actually diffs. A regression gate must
+// treat zero as an error: comparing disjoint campaigns (e.g. a
+// baseline recorded with -skip-fig6) proves nothing.
+func ComparableCells(a, b Campaign) int {
+	ib := campaignIndex(b)
+	n := 0
+	for k := range campaignIndex(a) {
+		if _, ok := ib[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
 // Compare diffs two campaigns' Fig. 6 results, returning every
 // (service, workload, metric) whose ratio leaves [1/threshold,
 // threshold]. It is the regression detector for profile or model
@@ -70,16 +97,7 @@ func Compare(a, b Campaign, threshold float64) []Delta {
 	if threshold < 1 {
 		threshold = 1 / threshold
 	}
-	index := func(c Campaign) map[string]Summary {
-		m := map[string]Summary{}
-		for _, r := range c.Fig6 {
-			for i, s := range r.Summaries {
-				m[r.Service+"|"+r.Workloads[i].String()] = s
-			}
-		}
-		return m
-	}
-	ia, ib := index(a), index(b)
+	ia, ib := campaignIndex(a), campaignIndex(b)
 	var keys []string
 	for k := range ia {
 		if _, ok := ib[k]; ok {
@@ -144,20 +162,18 @@ func RunFullCampaign(vantage Vantage, reps int, seed int64) Campaign {
 }
 
 // fig6FromVantage is Fig6ForService with the test computer at an
-// arbitrary vantage.
+// arbitrary vantage, the workload x repetition matrix fanned out over
+// the shared scheduler pool.
 func fig6FromVantage(p client.Profile, v Vantage, reps int, seed int64) Fig6Result {
 	if reps <= 0 {
 		reps = DefaultReps
 	}
 	batches := workload.StandardBenchmarks(workload.Binary)
-	out := Fig6Result{Service: p.Service, Workloads: batches}
-	for i, b := range batches {
-		b := b
-		base := seed + int64(i)*100003
-		runs := runReps(reps, CampaignWorkers, func(r int) Metrics {
-			return RunSyncFrom(p, b, v, campaignSeed(base, r), DefaultJitter)
-		})
-		out.Summaries = append(out.Summaries, Summarize(runs))
+	return Fig6Result{
+		Service:   p.Service,
+		Workloads: batches,
+		Summaries: fig6Summaries(batches, reps, func(wi, rep int) Metrics {
+			return RunSyncFrom(p, batches[wi], v, fig6Seed(seed, wi, rep), DefaultJitter)
+		}),
 	}
-	return out
 }

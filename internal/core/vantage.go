@@ -96,19 +96,20 @@ type LocationCell struct {
 // LocationStudy benchmarks every service from every vantage with the
 // same workload — the comparison the paper's public-tool release was
 // meant to enable. Single repetition per cell, jitter-free (location
-// effects dwarf noise).
+// effects dwarf noise). The service x vantage matrix fans out over
+// the shared scheduler pool; every cell builds its own testbed from
+// the shared seed, so results are bit-identical at any worker count.
 func LocationStudy(batch workload.Batch, vantages []Vantage, seed int64) []LocationCell {
-	var out []LocationCell
-	for _, p := range client.Profiles() {
-		for _, v := range vantages {
-			out = append(out, LocationCell{
-				Service: p.Service,
-				Vantage: v.Name,
-				Metrics: RunSyncFrom(p, batch, v, seed, 0),
-			})
+	profiles := client.Profiles()
+	return RunN(len(profiles)*len(vantages), CampaignWorkers, func(i int) LocationCell {
+		p := profiles[i/len(vantages)]
+		v := vantages[i%len(vantages)]
+		return LocationCell{
+			Service: p.Service,
+			Vantage: v.Name,
+			Metrics: RunSyncFrom(p, batch, v, seed, 0),
 		}
-	}
-	return out
+	})
 }
 
 // LocationReport renders a location study as a service x vantage

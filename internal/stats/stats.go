@@ -27,12 +27,28 @@ func Std(v []float64) float64 {
 	if len(v) < 2 {
 		return 0
 	}
+	return math.Sqrt(sumSqDev(v) / float64(len(v)))
+}
+
+// SampleStd returns the sample standard deviation (n-1 divisor,
+// Bessel's correction; 0 for n < 2). Inference about the mean of the
+// underlying distribution — like the confidence interval MeanCI95
+// reports — must use this estimator, not the population formula.
+func SampleStd(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	return math.Sqrt(sumSqDev(v) / float64(len(v)-1))
+}
+
+// sumSqDev returns the sum of squared deviations from the mean.
+func sumSqDev(v []float64) float64 {
 	m := Mean(v)
 	var s float64
 	for _, x := range v {
 		s += (x - m) * (x - m)
 	}
-	return math.Sqrt(s / float64(len(v)))
+	return s
 }
 
 // Median returns the 50th percentile.
@@ -68,14 +84,15 @@ func Percentile(v []float64, p float64) float64 {
 }
 
 // MeanCI95 returns the mean and the half-width of its 95% confidence
-// interval under the normal approximation (1.96 sigma/sqrt(n)).
-// For n < 2 the half-width is 0.
+// interval under the normal approximation (1.96 s/sqrt(n), with s the
+// sample standard deviation — the population divisor would bias the
+// interval narrow). For n < 2 the half-width is 0.
 func MeanCI95(v []float64) (mean, halfWidth float64) {
 	mean = Mean(v)
 	if len(v) < 2 {
 		return mean, 0
 	}
-	return mean, 1.96 * Std(v) / math.Sqrt(float64(len(v)))
+	return mean, 1.96 * SampleStd(v) / math.Sqrt(float64(len(v)))
 }
 
 // MinMax returns the extremes (0, 0 for empty input).

@@ -18,6 +18,25 @@ func TestMeanStdKnown(t *testing.T) {
 	if !approx(Std(v), 2, 1e-12) {
 		t.Fatalf("std = %v", Std(v))
 	}
+	// Sample std uses the n-1 divisor: sqrt(32/7).
+	if !approx(SampleStd(v), math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("sample std = %v", SampleStd(v))
+	}
+	if SampleStd(v) <= Std(v) {
+		t.Fatal("sample std must exceed population std")
+	}
+	if SampleStd(nil) != 0 || SampleStd([]float64{1}) != 0 {
+		t.Fatal("SampleStd of n < 2 must be 0")
+	}
+}
+
+func TestMeanCI95UsesSampleStd(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	_, hw := MeanCI95(v)
+	want := 1.96 * math.Sqrt(32.0/7) / math.Sqrt(8)
+	if !approx(hw, want, 1e-12) {
+		t.Fatalf("CI half-width = %v, want %v (sample-std based)", hw, want)
+	}
 }
 
 func TestEmptyAndSingleton(t *testing.T) {

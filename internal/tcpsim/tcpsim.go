@@ -100,6 +100,12 @@ type Conn struct {
 func (d *Dialer) Dial(server *netem.Host, serverName string, at time.Time, tls TLSConfig) *Conn {
 	port := d.nextPort
 	d.nextPort++
+	if d.nextPort > 65535 {
+		// Ephemeral ports are 16-bit: wrap instead of growing into
+		// invalid port numbers during long campaigns. Flow identity is
+		// the FlowID, so key reuse never confuses the analyzers.
+		d.nextPort = 40000
+	}
 	key := trace.FlowKey{
 		ClientAddr: d.Client.Addr, ClientPort: port,
 		ServerAddr: server.Addr, ServerPort: 443, Proto: trace.TCP,
@@ -126,9 +132,13 @@ func (d *Dialer) Dial(server *netem.Host, serverName string, at time.Time, tls T
 		// Full TLS handshake, 2 RTTs: ClientHello / ServerHello+
 		// Certificate / ClientKeyExchange+Finished / Finished.
 		c.record(t, trace.Upstream, trace.Flags{ACK: true}, 220, 220+HeaderPerSeg, 1, 0)
-		segs := segments(tls.CertBytes)
-		c.record(t.Add(c.rtt), trace.Downstream, trace.Flags{ACK: true},
-			tls.CertBytes, tls.CertBytes+int64(segs)*HeaderPerSeg, segs, ackWire(segs))
+		if tls.CertBytes > 0 {
+			// A zero-byte chain (session resumption) transfers no
+			// certificate record: no segments, no delayed ACKs.
+			segs := segments(tls.CertBytes)
+			c.record(t.Add(c.rtt), trace.Downstream, trace.Flags{ACK: true},
+				tls.CertBytes, tls.CertBytes+int64(segs)*HeaderPerSeg, segs, ackWire(segs))
+		}
 		c.record(t.Add(c.rtt), trace.Upstream, trace.Flags{ACK: true}, 330, 330+HeaderPerSeg, 1, 0)
 		c.record(t.Add(2*c.rtt), trace.Downstream, trace.Flags{ACK: true}, 60, 60+HeaderPerSeg, 1, 0)
 		t = t.Add(2 * c.rtt)
@@ -365,10 +375,12 @@ func (c *Conn) record(t time.Time, dir trace.Direction, fl trace.Flags, payload,
 	})
 }
 
-// segments returns how many MSS-sized packets n bytes occupy.
+// segments returns how many MSS-sized packets n bytes occupy. Zero
+// bytes travel in zero segments — a zero-byte record must not fake a
+// data segment on the wire.
 func segments(n int64) int {
 	if n <= 0 {
-		return 1
+		return 0
 	}
 	return int((n + MSS - 1) / MSS)
 }

@@ -238,6 +238,63 @@ func TestSendZeroAndNegative(t *testing.T) {
 	c.Send(-1)
 }
 
+func TestSegmentsZeroBytes(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		want int
+	}{{-5, 0}, {0, 0}, {1, 1}, {MSS, 1}, {MSS + 1, 2}, {10 * MSS, 10}} {
+		if got := segments(tc.n); got != tc.want {
+			t.Errorf("segments(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	if ackWire(0) != 0 {
+		t.Errorf("ackWire(0) = %d, want 0", ackWire(0))
+	}
+}
+
+func TestZeroCertBytesNoPhantomSegments(t *testing.T) {
+	// A TLS handshake with an empty certificate chain (session
+	// resumption) must not record a phantom data segment or its
+	// delayed-ACK wire bytes.
+	_, cap, d, server := testbed(iadCoord(), 20e6, 0)
+	d.Dial(server, "s", sim.Epoch, TLSConfig{Enabled: true, CertBytes: 0, RecordOverheadPct: 2.0})
+	var down, downAck int64
+	for _, p := range cap.Packets() {
+		if p.Wire == 0 && p.Segments > 0 {
+			t.Errorf("phantom segment: %+v", p)
+		}
+		if p.Dir == trace.Downstream && !p.Flags.SYN {
+			down += p.Payload
+			downAck += p.AckWire
+		}
+	}
+	// Only the server Finished (60 B) travels downstream, with no
+	// delayed ACKs (single segments are acknowledged by the next
+	// upstream record in the model).
+	if down != 60 {
+		t.Errorf("downstream handshake payload = %d, want 60", down)
+	}
+	if downAck != 0 {
+		t.Errorf("downstream delayed-ACK wire = %d, want 0", downAck)
+	}
+}
+
+func TestDialerPortsWrap(t *testing.T) {
+	_, cap, d, server := testbed(iadCoord(), 20e6, 0)
+	d.nextPort = 65535
+	c1 := d.Dial(server, "s", sim.Epoch, PlainTCP)
+	c2 := d.Dial(server, "s", sim.Epoch, PlainTCP)
+	if got := cap.Flow(c1.Flow()).Key.ClientPort; got != 65535 {
+		t.Fatalf("first port = %d, want 65535", got)
+	}
+	if got := cap.Flow(c2.Flow()).Key.ClientPort; got != 40000 {
+		t.Fatalf("wrapped port = %d, want 40000", got)
+	}
+	if c1.Flow() == c2.Flow() {
+		t.Fatal("flow IDs must stay unique across port reuse")
+	}
+}
+
 func TestChunkPausesVisibleInTrace(t *testing.T) {
 	// Upload 3 chunks with an application wait between them and check
 	// the pause detector recovers the chunk size — the Sect. 4.1 test.

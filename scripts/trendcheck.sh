@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# trendcheck.sh — fail when the engine's simulated metrics drift from
+# the newest committed BENCH_<sha>.json snapshot.
+#
+# Diffs a snapshot of HEAD (a pre-built one, or freshly generated via
+# scripts/bench.sh) against the committed baseline with
+# `comparebench -fail-on-drift`: simulated metrics are deterministic
+# given a seed, so ANY delta means an engine change altered simulated
+# behaviour (wall-clock micro numbers are informational and not
+# compared). The gate also fails when the campaigns share no
+# comparable cells, so a fig6-less baseline cannot pass vacuously.
+# CI runs this on every push, reusing the snapshot it just recorded.
+#
+# Usage: scripts/trendcheck.sh [threshold] [snapshot.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold="${1:-1.05}"
+new="${2:-}"
+
+# Baseline: the most recently committed BENCH_*.json, by commit time
+# with the filename as a deterministic tie-break (shallow clones give
+# every file the same graft timestamp; CI fetches full history).
+base="$(git ls-files 'BENCH_*.json' | while read -r f; do
+  printf '%s %s\n' "$(git log -1 --format=%ct -- "$f")" "$f"
+done | sort -k1,1n -k2,2 | tail -1 | cut -d' ' -f2-)"
+if [ -z "${base}" ]; then
+  echo "trendcheck: no committed BENCH_*.json baseline found" >&2
+  exit 1
+fi
+
+if [ -z "${new}" ]; then
+  new="$(mktemp -t bench_head.XXXXXX.json)"
+  trap 'rm -f "${new}"' EXIT
+  scripts/bench.sh "${new}"
+fi
+
+echo "comparing ${new} against baseline ${base} (threshold ${threshold})"
+go run ./cmd/comparebench -a "${base}" -b "${new}" -threshold "${threshold}" -fail-on-drift
