@@ -5,9 +5,11 @@
 // campaign wall-clock through the parallel and sequential engines,
 // the full campaign-of-campaigns matrix (every service x workload x
 // repetition flattened onto the shared scheduler pool, with a
-// bit-identity check against the sequential engine), and the
-// MeasureWindow path against the seed copy-and-rescan baseline.
-// scripts/bench.sh wraps it.
+// bit-identity check against the sequential engine), the
+// MeasureWindow path against the seed copy-and-rescan baseline, and a
+// memory micro (B/op, allocs/op via testing.Benchmark) of one large
+// multi-MB repetition through the streaming engine vs a buffered
+// trace. scripts/bench.sh wraps it.
 //
 // Usage:
 //
@@ -29,6 +31,7 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"testing"
 	"time"
 
 	"repro/internal/client"
@@ -65,12 +68,31 @@ type matrixMicro struct {
 	Identical    bool    `json:"identical"`
 }
 
+// memoryMicro is the allocation profile of one large (multi-MB)
+// campaign repetition in each trace mode, via testing.Benchmark: the
+// streaming engine folds packets at record time (O(flows) trace
+// memory), the buffered engine retains the whole packet trace
+// (O(packets)). SavedBytesPerOp is the per-repetition allocation the
+// streaming pipeline removes; a future regression shows up here as
+// the two columns converging.
+type memoryMicro struct {
+	Workload             string `json:"workload"`
+	PacketsPerRep        int    `json:"packets_per_rep"`
+	FlowsPerRep          int    `json:"flows_per_rep"`
+	StreamingBytesPerOp  int64  `json:"streaming_b_per_op"`
+	StreamingAllocsPerOp int64  `json:"streaming_allocs_per_op"`
+	BufferedBytesPerOp   int64  `json:"buffered_b_per_op"`
+	BufferedAllocsPerOp  int64  `json:"buffered_allocs_per_op"`
+	SavedBytesPerOp      int64  `json:"saved_b_per_op"`
+}
+
 type micro struct {
 	GoMaxProcs       int             `json:"go_max_procs"`
 	CampaignWorkload string          `json:"campaign_workload"`
 	Campaign         []campaignMicro `json:"campaign"`
 	Matrix           matrixMicro     `json:"matrix"`
 	MeasureWindow    measureMicro    `json:"measure_window"`
+	Memory           memoryMicro     `json:"memory"`
 }
 
 // snapshot is a core.Campaign plus the engine micro section; the
@@ -144,6 +166,8 @@ func main() {
 		SpeedupX:  ratio(seedStyle, onePass),
 	}
 
+	snap.Micro.Memory = memoryMicroBench(*seed)
+
 	if !*skipFig6 {
 		v, _ := core.VantageByName("twente")
 		snap.Campaign = core.RunFullCampaign(v, *reps, *seed)
@@ -168,6 +192,53 @@ func main() {
 	if err := enc.Encode(snap); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// memoryMicroBench measures B/op and allocs/op of one large multi-MB
+// campaign repetition through the streaming engine (core.RunSync) and
+// through an identical repetition on a buffered trace. Cloud Drive
+// carries no compression capability, so the numbers isolate the
+// engine — content generation, transport simulation and the trace
+// layer — rather than DEFLATE.
+func memoryMicroBench(seed int64) memoryMicro {
+	p := client.CloudDrive()
+	batch := workload.Batch{Count: 4, Size: 4 << 20, Kind: workload.Binary}
+
+	bufferedRep := func() *core.Testbed {
+		tb := core.NewTestbed(p, seed, core.DefaultJitter)
+		start := tb.Settle()
+		t0 := tb.Clock.Now()
+		batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
+		res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+		tb.Clock.AdvanceTo(res.Done)
+		core.MeasureWindow(tb, t0, batch.Total())
+		return tb
+	}
+
+	stream := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.RunSync(p, batch, seed, core.DefaultJitter)
+		}
+	})
+	var tb *core.Testbed // trace shape for context, from the last iteration
+	buffered := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tb = bufferedRep()
+		}
+	})
+
+	return memoryMicro{
+		Workload:             fmt.Sprintf("%d x %d MB", batch.Count, batch.Size>>20),
+		PacketsPerRep:        tb.Cap.Len(),
+		FlowsPerRep:          tb.Cap.NumFlows(),
+		StreamingBytesPerOp:  stream.AllocedBytesPerOp(),
+		StreamingAllocsPerOp: stream.AllocsPerOp(),
+		BufferedBytesPerOp:   buffered.AllocedBytesPerOp(),
+		BufferedAllocsPerOp:  buffered.AllocsPerOp(),
+		SavedBytesPerOp:      buffered.AllocedBytesPerOp() - stream.AllocedBytesPerOp(),
 	}
 }
 

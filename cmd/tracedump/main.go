@@ -1,4 +1,7 @@
-// Command tracedump captures and inspects benchmark traces.
+// Command tracedump captures and inspects benchmark traces. It is a
+// packet-level tool, so it runs its experiment on a buffered
+// trace.Capture — the one consumer that exists precisely to show the
+// packets the streaming campaign engine never keeps.
 //
 // Run a synchronization experiment and save its packet trace:
 //

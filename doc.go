@@ -18,19 +18,39 @@
 // analysis and campaign repetition are the hot paths of the whole
 // tool. They are organised as follows:
 //
-//   - internal/trace.Capture records packets append-only; stragglers
-//     from connections simulating on independent timelines land in a
-//     reorder buffer that is merged back — stably — on first read, so
-//     recording is O(1) and analyzers always see a time-sorted trace.
+//   - internal/trace.Sink is the recording boundary the transport
+//     simulator writes against, with two implementations. Capture
+//     records packets append-only; stragglers from connections
+//     simulating on independent timelines land in a reorder buffer
+//     that is merged back — stably — on first read, so recording is
+//     O(1) and analyzers always see a time-sorted trace. Streamer
+//     folds each packet into the per-flow accumulators of every
+//     pre-registered window and discards it, so a repetition's trace
+//     memory is O(flows) instead of O(packets).
 //   - Capture.Window returns a zero-copy, binary-searched view of a
 //     time slice (half-open [from, to)), sharing the backing store.
 //   - Capture.Analyze computes every scalar metric of Sect. 5 — byte
 //     accounting in both directions, payload bracket, SYN timeline,
 //     connection count — in one scan per flow selection. The
 //     per-metric methods (TotalWireBytes, FirstPayloadTime, ...) are
-//     thin wrappers over it.
+//     thin wrappers over it. StreamWindow.Analyze answers the same
+//     question from the streamed accumulators, bit-identically
+//     (pinned by the randomized equivalence test in internal/trace).
 //   - core.MeasureWindow reads all Sect. 5 metrics off two Analyze
-//     passes (all flows, storage flows) of one window.
+//     passes (all flows, storage flows) of one window, in either
+//     trace mode. The campaign cells (RunSync, RunSyncFrom,
+//     RunSYNCount, the Fig. 4/5 sweeps) stream; consumers that
+//     genuinely re-window after the fact or walk individual packets —
+//     RunIdle's cumulative timeline, AnalyzeProtocols' activity
+//     clustering, the Sect. 4 capability detectors, RunPropagation,
+//     RunRecovery, cmd/tracedump — keep a buffered Capture.
+//   - internal/compressor memoises size-only DEFLATE by content hash
+//     (sizes stay exact; SHA-256 is ~10x cheaper than the level-6
+//     flate it skips), so campaigns that re-plan identical content —
+//     repeated engine timings, the parallel-vs-sequential identity
+//     checks, the Fig. 6 matrix whose per-(workload, repetition)
+//     contents are shared across services — stop paying for
+//     recompression.
 //   - core.RunN is the parallel experiment scheduler: a generic
 //     bounded-pool fan-out over arbitrary index spaces. Every
 //     campaign-of-campaigns loop rides on it — RunCampaign over

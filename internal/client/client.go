@@ -14,16 +14,18 @@ import (
 )
 
 // Client is one running sync client on the test computer. It behaves
-// according to its Profile and emits all traffic into the capture via
-// the transport simulator; it exposes no measurement results itself —
-// the benchmark core derives every metric from the trace, exactly as
-// the paper's sniffer does.
+// according to its Profile and emits all traffic into the trace sink
+// via the transport simulator; it exposes no measurement results
+// itself — the benchmark core derives every metric from the trace,
+// exactly as the paper's sniffer does. The client only ever records
+// (it never reads the trace back), so it works identically against a
+// buffering Capture and a streaming Streamer.
 type Client struct {
 	Profile Profile
 	Deploy  *cloud.Deployment
 	Net     *netem.Network
 	Host    *netem.Host
-	Cap     *trace.Capture
+	Cap     trace.Sink
 	DNS     *dnssim.System
 
 	rng  *sim.RNG
@@ -44,7 +46,7 @@ type Config struct {
 	Deploy  *cloud.Deployment
 	Net     *netem.Network
 	Host    *netem.Host // the test computer
-	Cap     *trace.Capture
+	Cap     trace.Sink  // where the client's traffic is recorded
 	DNS     *dnssim.System
 	RNG     *sim.RNG
 }

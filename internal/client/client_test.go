@@ -40,13 +40,14 @@ func newRig(t *testing.T, p Profile, seed int64) *rig {
 		Name: "testpc.utwente.sim", Addr: "130.89.0.1",
 		Coord: geo.Coord{Lat: 52.24, Lon: 6.85}, // Enschede
 	})
+	cap := trace.NewCapture()
 	c := New(Config{
 		Profile: p, Deploy: deploy, Net: n, Host: host,
-		Cap: trace.NewCapture(), DNS: dns, RNG: rng.Fork(3),
+		Cap: cap, DNS: dns, RNG: rng.Fork(3),
 	})
 	return &rig{
 		clock: clock, sched: sim.NewScheduler(clock), net: n, dns: dns,
-		reg: reg, cap: c.Cap, deploy: deploy, client: c,
+		reg: reg, cap: cap, deploy: deploy, client: c,
 		folder: workload.NewFolder(), rng: rng.Fork(4),
 	}
 }

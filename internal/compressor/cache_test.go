@@ -1,0 +1,114 @@
+package compressor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// contents returns payloads that exercise both cache tiers (below and
+// above sizeCacheMinLen) and both compressibility extremes.
+func contents(t *testing.T) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	random := make([]byte, 64<<10)
+	rng.Read(random)
+	text := make([]byte, 64<<10)
+	words := []byte("the quick brown fox jumps over the lazy dog ")
+	for i := range text {
+		text[i] = words[i%len(words)]
+	}
+	small := make([]byte, 512)
+	rng.Read(small)
+	return map[string][]byte{"random": random, "text": text, "small": small}
+}
+
+// TestTransmitSizeCacheExact proves the (hash -> size) cache is
+// invisible: repeated calls — cold, warm, and after mutation of an
+// unrelated buffer — return exactly the uncached DEFLATE count.
+func TestTransmitSizeCacheExact(t *testing.T) {
+	for name, data := range contents(t) {
+		want := countDeflate(data)
+		for i := 0; i < 3; i++ {
+			if got := TransmitSize(Always, data); got != want {
+				t.Fatalf("%s call %d: TransmitSize = %d, want %d", name, i, got, want)
+			}
+		}
+		// Equal content in a different allocation must hit the same
+		// entry and the same size.
+		clone := append([]byte(nil), data...)
+		if got := TransmitSize(Always, clone); got != want {
+			t.Fatalf("%s clone: TransmitSize = %d, want %d", name, got, want)
+		}
+		// Different content must not collide with the cached entry.
+		clone[len(clone)/2] ^= 0xFF
+		if got, direct := TransmitSize(Always, clone), countDeflate(clone); got != direct {
+			t.Fatalf("%s mutated: TransmitSize = %d, want %d", name, got, direct)
+		}
+	}
+}
+
+// TestTransmitSizeCacheConcurrent hammers the cache from many
+// goroutines over a shared content set — the campaign engine's
+// access pattern, where parallel repetitions re-plan equal chunks.
+// Run with -race (CI does) to prove the locking.
+func TestTransmitSizeCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	payloads := make([][]byte, 8)
+	want := make([]int64, len(payloads))
+	for i := range payloads {
+		payloads[i] = make([]byte, 16<<10+i)
+		rng.Read(payloads[i])
+		want[i] = countDeflate(payloads[i])
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (g + i) % len(payloads)
+				if got := TransmitSize(Always, payloads[k]); got != want[k] {
+					errc <- nil
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if len(errc) > 0 {
+		t.Fatal("concurrent TransmitSize returned a wrong size")
+	}
+}
+
+// TestSizeCacheReset proves the entry bound resets the cache instead
+// of growing without limit, and that results stay exact across the
+// reset generation.
+func TestSizeCacheReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	probe := make([]byte, sizeCacheMinLen)
+	rng.Read(probe)
+	want := countDeflate(probe)
+	if got := TransmitSize(Always, probe); got != want {
+		t.Fatalf("probe = %d, want %d", got, want)
+	}
+	// Overflow the generation with unique contents.
+	buf := make([]byte, sizeCacheMinLen)
+	for i := 0; i < sizeCacheMaxEntries+10; i++ {
+		rng.Read(buf)
+		TransmitSize(Always, buf)
+	}
+	sizeCache.RLock()
+	n := len(sizeCache.m)
+	sizeCache.RUnlock()
+	if n > sizeCacheMaxEntries {
+		t.Fatalf("cache grew to %d entries, bound is %d", n, sizeCacheMaxEntries)
+	}
+	// The probe may have been evicted by the reset; the size must not
+	// have changed either way.
+	if got := TransmitSize(Always, probe); got != want {
+		t.Fatalf("probe after reset = %d, want %d", got, want)
+	}
+}

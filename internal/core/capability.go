@@ -32,6 +32,13 @@ type Capabilities struct {
 // Table 1 row: chunking, bundling, compression, deduplication (one
 // four-step experiment yielding both Dedup and DedupAfterDelete) and
 // delta encoding.
+//
+// The detectors run on buffered testbeds deliberately: they re-window
+// the trace at instants discovered mid-experiment (each dedup step,
+// the modification of a delta test) and walk individual packets
+// (UploadPauses, Bursts, estimateRTT's SYN/SYN-ACK pairing), none of
+// which survives the streaming fold. Their traces are small — single
+// files or 100 tiny ones — so O(packets) buffering is irrelevant here.
 const numDetectors = 5
 
 // DetectCapabilities runs every Sect. 4 test for one service, the

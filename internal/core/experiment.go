@@ -18,12 +18,17 @@ const DefaultJitter = 0.10
 
 // RunSync executes one repetition of a synchronization benchmark:
 // fresh testbed, login, settle, materialize the batch, let the client
-// synchronize, and measure everything from the trace.
+// synchronize, and measure everything from the trace. Repetitions run
+// in streaming-trace mode: packets are folded into the benchmark
+// window at record time and discarded, so a repetition's trace memory
+// is O(flows) regardless of workload size. Metrics are bit-identical
+// to the buffered path (pinned by the golden and equivalence tests).
 func RunSync(p client.Profile, batch workload.Batch, seed int64, jitter float64) Metrics {
-	tb := NewTestbed(p, seed, jitter)
+	tb := NewStreamingTestbed(p, seed, jitter)
 	start := tb.Settle()
 
 	t0 := tb.Clock.Now()
+	tb.StartWindow(t0)
 	batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
 	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
 	tb.Clock.AdvanceTo(res.Done)
@@ -32,14 +37,14 @@ func RunSync(p client.Profile, batch workload.Batch, seed int64, jitter float64)
 }
 
 // MeasureWindow computes the Sect. 5 metrics for the benchmark window
-// starting at t0, for a workload of contentBytes. The window is a
-// zero-copy view over the trace and every scalar comes off two
-// single-pass scans (one per flow selection: all flows, storage
-// flows).
+// starting at t0, for a workload of contentBytes. Every scalar comes
+// off two Analysis reads (one per flow selection: all flows, storage
+// flows) — on a buffered testbed each is one single-pass scan of a
+// zero-copy window view; on a streaming testbed each is a read of the
+// accumulators folded while recording.
 func MeasureWindow(tb *Testbed, t0 time.Time, contentBytes int64) Metrics {
-	win := tb.Cap.Window(t0, trace.FarFuture)
-	storage := win.Analyze(tb.StorageFilter(t0))
-	all := win.Analyze(trace.AllFlows)
+	storage := tb.AnalyzeWindow(t0, tb.StorageFilter(t0))
+	all := tb.AnalyzeWindow(t0, trace.AllFlows)
 
 	var m Metrics
 	if storage.HasPayload {
@@ -105,7 +110,9 @@ const IdleWindow = 16 * time.Minute
 
 // RunIdle executes the Fig. 1 experiment for one service: start the
 // client, let it log in and then sit idle, and watch the control
-// traffic accumulate for 16 minutes.
+// traffic accumulate for 16 minutes. It runs on a buffered trace by
+// necessity: the cumulative timeline is a per-packet output, and the
+// login/idle windows are only known after the fact.
 func RunIdle(p client.Profile, seed int64) IdleResult {
 	tb := NewTestbed(p, seed, 0)
 	t0 := tb.Clock.Now()
@@ -140,19 +147,21 @@ type SYNSeries struct {
 }
 
 // RunSYNCount executes the Fig. 3 experiment: upload 100 files of
-// 10 kB and record every connection the client opens.
+// 10 kB and record every connection the client opens. The SYN
+// timeline survives streaming (one instant per connection, O(flows)),
+// so this runs on the streaming trace like the other campaign cells.
 func RunSYNCount(p client.Profile, batch workload.Batch, seed int64) SYNSeries {
-	tb := NewTestbed(p, seed, 0)
+	tb := NewStreamingTestbed(p, seed, 0)
 	start := tb.Settle()
 	t0 := tb.Clock.Now()
+	tb.StartWindow(t0)
 	batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
 	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
 	tb.Clock.AdvanceTo(res.Done)
 
-	win := tb.Cap.Window(t0, trace.FarFuture)
 	var out SYNSeries
 	out.Service = p.Service
-	for _, ts := range win.Analyze(trace.AllFlows).SYNTimes {
+	for _, ts := range tb.AnalyzeWindow(t0, trace.AllFlows).SYNTimes {
 		out.Times = append(out.Times, ts.Sub(t0))
 	}
 	m := MeasureWindow(tb, t0, batch.Total())

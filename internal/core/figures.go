@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"repro/internal/client"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -47,11 +46,14 @@ type VolumePoint struct {
 // service: for each file size, synchronize a base file, modify it by
 // inserting `added` bytes at the chosen position ("in all cases, the
 // modified file replaces its old copy"), and measure the upload volume
-// of the second synchronization.
+// of the second synchronization. Cells stream: the measurement window
+// opens at the modification instant — a quiet point 10 s after the
+// base upload — so it is registered before any of its traffic exists
+// and the base upload's packets are never retained.
 func Fig4DeltaSeries(p client.Profile, mod ModKind, sizes []int64, added int64, seed int64) []VolumePoint {
 	return RunN(len(sizes), CampaignWorkers, func(i int) VolumePoint {
 		size := sizes[i]
-		tb := NewTestbed(p, seed+int64(i)*101, 0)
+		tb := NewStreamingTestbed(p, seed+int64(i)*101, 0)
 		start := tb.Settle()
 
 		t0 := tb.Clock.Now()
@@ -61,6 +63,7 @@ func Fig4DeltaSeries(p client.Profile, mod ModKind, sizes []int64, added int64, 
 		tb.Clock.AdvanceTo(res.Done.Add(10 * time.Second))
 
 		t1 := tb.Clock.Now()
+		tb.StartWindow(t1)
 		chunk := workload.Generate(tb.RNG.Fork(2), workload.Binary, added)
 		switch mod {
 		case ModAppend:
@@ -74,8 +77,7 @@ func Fig4DeltaSeries(p client.Profile, mod ModKind, sizes []int64, added int64, 
 		res = tb.Client.SyncChanges(tb.Folder, t1.Add(-time.Millisecond))
 		tb.Clock.AdvanceTo(res.Done)
 
-		win := tb.Cap.Window(t1, trace.FarFuture)
-		up := win.WireBytesDir(tb.StorageFilter(t1), trace.Upstream)
+		up := tb.AnalyzeWindow(t1, tb.StorageFilter(t1)).WireUp
 		return VolumePoint{FileSize: size, Upload: up}
 	})
 }
@@ -86,15 +88,15 @@ func Fig4DeltaSeries(p client.Profile, mod ModKind, sizes []int64, added int64, 
 func Fig5CompressionSeries(p client.Profile, kind workload.Kind, sizes []int64, seed int64) []VolumePoint {
 	return RunN(len(sizes), CampaignWorkers, func(i int) VolumePoint {
 		size := sizes[i]
-		tb := NewTestbed(p, seed+int64(i)*103, 0)
+		tb := NewStreamingTestbed(p, seed+int64(i)*103, 0)
 		start := tb.Settle()
 		t0 := tb.Clock.Now()
+		tb.StartWindow(t0)
 		tb.Folder.Create(t0, "payload"+kind.Ext(),
 			workload.Generate(tb.RNG.Fork(7), kind, size))
 		res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
 		tb.Clock.AdvanceTo(res.Done)
-		win := tb.Cap.Window(t0, trace.FarFuture)
-		up := win.WireBytesDir(tb.StorageFilter(t0), trace.Upstream)
+		up := tb.AnalyzeWindow(t0, tb.StorageFilter(t0)).WireUp
 		return VolumePoint{FileSize: size, Upload: up}
 	})
 }

@@ -42,6 +42,8 @@ type ProtocolReport struct {
 
 // AnalyzeProtocols drives a client through login and a 16-minute idle
 // period and infers the Sect. 3.1 protocol behaviour from the capture.
+// It needs a buffered trace: the login/idle windows are only known
+// after the run, and activityClusterStarts walks individual packets.
 func AnalyzeProtocols(p client.Profile, seed int64) ProtocolReport {
 	tb := NewTestbed(p, seed, 0)
 	t0 := tb.Clock.Now()

@@ -9,12 +9,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/geo"
 	"repro/internal/netem"
-	"repro/internal/sim"
-	"repro/internal/trace"
-	"repro/internal/whois"
 	"repro/internal/workload"
-
-	"repro/internal/dnssim"
 )
 
 // Vantage is a place the test computer can run from. The paper
@@ -46,39 +41,29 @@ func VantageByName(name string) (Vantage, bool) {
 	return Vantage{}, false
 }
 
-// NewTestbedAt builds a testbed with the test computer at an
+// NewTestbedAt builds a buffered testbed with the test computer at an
 // arbitrary vantage.
 func NewTestbedAt(p client.Profile, spec cloud.Spec, v Vantage, seed int64, jitter float64) *Testbed {
-	rng := sim.NewRNG(seed)
-	clock := sim.NewClock()
-	n := netem.New(clock, rng.Fork(1))
-	n.JitterFraction = jitter
-	dns := dnssim.NewSystem(rng.Fork(2))
-	reg := whois.NewRegistry()
-	deploy := cloud.Build(n, dns, reg, spec)
-	host := n.AddHost(&netem.Host{
+	return assembleTestbed(p, spec, vantageHost(v), seed, jitter, false)
+}
+
+// vantageHost is a test computer placed at an arbitrary vantage.
+func vantageHost(v Vantage) *netem.Host {
+	return &netem.Host{
 		Name:  fmt.Sprintf("testpc.%s.sim", v.Name),
 		Addr:  "198.51.100.1",
 		Coord: v.Coord,
-	})
-	cap := trace.NewCapture()
-	cl := client.New(client.Config{
-		Profile: p, Deploy: deploy, Net: n, Host: host,
-		Cap: cap, DNS: dns, RNG: rng.Fork(3),
-	})
-	return &Testbed{
-		Seed: seed, Clock: clock, Sched: sim.NewScheduler(clock),
-		Net: n, DNS: dns, Whois: reg, Cap: cap, Deploy: deploy,
-		Client: cl, Folder: workload.NewFolder(), RNG: rng.Fork(4),
-		Profile: p,
 	}
 }
 
-// RunSyncFrom is RunSync from an arbitrary vantage.
+// RunSyncFrom is RunSync from an arbitrary vantage; like RunSync it
+// streams the trace, so location-study cells share the O(flows)
+// memory profile of the campaign engine.
 func RunSyncFrom(p client.Profile, batch workload.Batch, v Vantage, seed int64, jitter float64) Metrics {
-	tb := NewTestbedAt(p, cloud.SpecFor(p.Service), v, seed, jitter)
+	tb := assembleTestbed(p, cloud.SpecFor(p.Service), vantageHost(v), seed, jitter, true)
 	start := tb.Settle()
 	t0 := tb.Clock.Now()
+	tb.StartWindow(t0)
 	batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
 	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
 	tb.Clock.AdvanceTo(res.Done)

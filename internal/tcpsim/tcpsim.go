@@ -1,5 +1,6 @@
 // Package tcpsim provides an analytic per-connection TCP/TLS model that
-// emits packet records into a trace.Capture.
+// emits packet records into a trace.Sink (a buffering Capture or a
+// streaming Streamer).
 //
 // The model reproduces the transport mechanisms that dominate the
 // paper's results:
@@ -57,18 +58,20 @@ var DefaultTLS = TLSConfig{Enabled: true, CertBytes: 3800, RecordOverheadPct: 2.
 var PlainTCP = TLSConfig{}
 
 // Dialer opens simulated connections from a fixed client host and
-// records their packets into a capture.
+// records their packets into a trace sink — a buffering Capture or a
+// fold-at-record-time Streamer; the transport model never reads the
+// trace back, so it only needs the recording half.
 type Dialer struct {
 	Net    *netem.Network
-	Cap    *trace.Capture
+	Sink   trace.Sink
 	Client *netem.Host
 
 	nextPort int
 }
 
 // NewDialer returns a dialer for the given client host.
-func NewDialer(n *netem.Network, cap *trace.Capture, client *netem.Host) *Dialer {
-	return &Dialer{Net: n, Cap: cap, Client: client, nextPort: 40000}
+func NewDialer(n *netem.Network, sink trace.Sink, client *netem.Host) *Dialer {
+	return &Dialer{Net: n, Sink: sink, Client: client, nextPort: 40000}
 }
 
 // Conn is one simulated TCP (optionally TLS) connection.
@@ -113,7 +116,7 @@ func (d *Dialer) Dial(server *netem.Host, serverName string, at time.Time, tls T
 	if !tls.Enabled {
 		key.ServerPort = 80
 	}
-	flow := d.Cap.OpenFlow(key, serverName, at)
+	flow := d.Sink.OpenFlow(key, serverName, at)
 	c := &Conn{
 		d: d, flow: flow, server: server, serverName: serverName, tls: tls,
 		rtt:      d.Net.SampleRTT(d.Client, server),
@@ -369,7 +372,7 @@ func (c *Conn) emitData(t time.Time, dir trace.Direction, n int64) {
 }
 
 func (c *Conn) record(t time.Time, dir trace.Direction, fl trace.Flags, payload, wire int64, segs int, ack int64) {
-	c.d.Cap.Record(trace.Packet{
+	c.d.Sink.Record(trace.Packet{
 		Time: t, Flow: c.flow, Dir: dir, Flags: fl,
 		Payload: payload, Wire: wire, Segments: segs, AckWire: ack,
 	})

@@ -103,6 +103,44 @@ func BenchmarkWindow(b *testing.B) {
 	})
 }
 
+// BenchmarkSinkRepetition contrasts the two Sink implementations over
+// one full record-then-measure repetition cycle: the Streamer folds
+// while recording and retains O(flows), the Capture retains every
+// record and scans it afterwards. Run with -benchmem: the B/op gap is
+// the packet backing store the streaming pipeline never allocates.
+func BenchmarkSinkRepetition(b *testing.B) {
+	src := benchCapture(100_000)
+	packets := src.Packets()
+	openFlows := func(s Sink) {
+		for _, f := range src.Flows() {
+			s.OpenFlow(f.Key, f.ServerName, f.OpenedAt)
+		}
+	}
+	b.Run("streamer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := NewStreamer()
+			openFlows(s)
+			w := s.AddWindow(t0, FarFuture)
+			for _, p := range packets {
+				s.Record(p)
+			}
+			w.Analyze(storageFilter)
+		}
+	})
+	b.Run("capture", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := NewCapture()
+			openFlows(c)
+			for _, p := range packets {
+				c.Record(p)
+			}
+			c.Window(t0, FarFuture).Analyze(storageFilter)
+		}
+	})
+}
+
 // BenchmarkAnalyze contrasts the one-pass analyzer with the seed
 // scheme it replaced: six independent full scans, each materialising
 // its own flow set.

@@ -6,8 +6,16 @@
 // derives every metric — synchronization start-up, completion time,
 // protocol overhead, TCP SYN counts, upload pauses, packet bursts —
 // from the trace. This package is the equivalent information boundary
-// in the reproduction: internal/tcpsim writes packets into a Capture,
-// and internal/core reads only the Capture.
+// in the reproduction: internal/tcpsim writes packets into a Sink,
+// and internal/core reads only the trace.
+//
+// The Sink has two implementations. Capture buffers every record for
+// arbitrary re-windowing and per-packet analyzers (the tcpdump
+// equivalent). Streamer folds records into pre-registered window
+// accumulators as they arrive and discards them, so a benchmark
+// repetition's trace memory is O(flows) instead of O(packets) — the
+// production-scale campaign mode. Both yield bit-identical Analysis
+// results; see sink.go.
 //
 // The design borrows gopacket's vocabulary (packets, flows, endpoints)
 // but stores segments in a compact aggregated form: consecutive data

@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Sink is the recording half of a trace: the interface the transport
+// simulator (tcpsim, and everything stacked on it) writes against.
+// Two implementations exist:
+//
+//   - Capture buffers every packet record and supports arbitrary
+//     re-windowing and per-packet analyzers afterwards — the tcpdump
+//     equivalent, O(packets) memory.
+//   - Streamer folds packets into pre-registered window accumulators
+//     at record time and then discards them — the "compute the
+//     counters in the kernel" equivalent, O(flows) memory.
+//
+// Both honour the same time-ordering discipline: connections simulate
+// on independent timelines, so records may arrive slightly out of
+// order, and every analyzer result is defined over the stably
+// time-sorted trace (Capture re-establishes the order with its reorder
+// buffer; Streamer's folds are order-independent except for the SYN
+// timeline, which it re-establishes the same way at read time).
+type Sink interface {
+	// OpenFlow registers a new connection and returns its ID.
+	OpenFlow(key FlowKey, serverName string, at time.Time) FlowID
+	// Record adds a packet to the trace.
+	Record(p Packet)
+}
+
+var (
+	_ Sink = (*Capture)(nil)
+	_ Sink = (*Streamer)(nil)
+)
+
+// Streamer is a packet sink that never buffers packets: each Record
+// folds the packet into the accumulators of every registered window
+// that contains its timestamp, then drops it. Memory is
+// O(flows + windows), independent of trace length — the property that
+// lets campaign size scale with repetitions instead of packets
+// (production-scale runs of the Sect. 5 benchmarks never re-read the
+// trace, they only need the per-window Analysis).
+//
+// The contract mirrors Capture exactly:
+//
+//   - StreamWindow.Analyze(f) is bit-identical to
+//     Capture.Window(from, to).Analyze(f) over the same records,
+//     including the SYNTimes order (stable time order, re-established
+//     by the same reorder discipline Capture.flush applies) and the
+//     HasPayload/FirstPayload/LastPayload bracket.
+//   - Filters are applied at read time, against FlowInfo, so
+//     classifiers that need per-flow traffic totals (the Wuala
+//     flow-size heuristic) work from StreamWindow.FlowBytes.
+//
+// Windows must be registered before any packet whose timestamp falls
+// inside them is recorded; AddWindow enforces this, which is what
+// makes a fold over a discarded trace provably equal to a scan over a
+// buffered one. Like Capture, a Streamer is not safe for concurrent
+// use — the campaign engine gives every experiment cell its own sink.
+type Streamer struct {
+	flows []FlowInfo
+	wins  []*StreamWindow
+
+	// maxSeen is the latest timestamp recorded so far; AddWindow uses
+	// it to reject registrations that would miss already-discarded
+	// packets.
+	maxSeen time.Time
+	seen    bool
+}
+
+// NewStreamer returns a streamer with no flows and no windows.
+func NewStreamer() *Streamer { return &Streamer{} }
+
+// OpenFlow registers a new connection and returns its ID.
+func (s *Streamer) OpenFlow(key FlowKey, serverName string, at time.Time) FlowID {
+	id := FlowID(len(s.flows))
+	s.flows = append(s.flows, FlowInfo{ID: id, Key: key, ServerName: serverName, OpenedAt: at})
+	return id
+}
+
+// Record folds a packet into every registered window containing its
+// timestamp and discards it. O(windows) per packet, no retention.
+func (s *Streamer) Record(p Packet) {
+	if !s.seen || p.Time.After(s.maxSeen) {
+		s.maxSeen = p.Time
+		s.seen = true
+	}
+	for _, w := range s.wins {
+		w.record(p)
+	}
+}
+
+// AddWindow registers a half-open accumulation window [from, to),
+// matching Capture.Window semantics. It panics when a packet at or
+// after `from` has already been recorded: that packet is gone, so the
+// window could silently diverge from a buffered capture of the same
+// run. Callers register windows at quiet instants (the benchmark
+// engine does so right when the window opens, after the trace has
+// settled).
+func (s *Streamer) AddWindow(from, to time.Time) *StreamWindow {
+	if s.seen && !s.maxSeen.Before(from) {
+		panic(fmt.Sprintf(
+			"trace: AddWindow(from=%v) after recording a packet at %v; streaming windows must be registered before their traffic",
+			from, s.maxSeen))
+	}
+	w := &StreamWindow{s: s, from: from, to: to}
+	s.wins = append(s.wins, w)
+	return w
+}
+
+// Flows returns metadata for every connection seen by the streamer.
+func (s *Streamer) Flows() []FlowInfo { return s.flows }
+
+// Flow returns the metadata for one connection.
+func (s *Streamer) Flow(id FlowID) FlowInfo { return s.flows[id] }
+
+// NumFlows returns how many connections the streamer saw.
+func (s *Streamer) NumFlows() int { return len(s.flows) }
+
+// flowAcc is the per-(window, flow) fold of every commutative Analysis
+// metric. About a hundred bytes per flow per window — together with
+// the per-connection SYN events, the whole memory footprint of a
+// streamed repetition.
+type flowAcc struct {
+	packets                int
+	totalWire              int64
+	wireUp, wireDown       int64
+	payloadUp, payloadDown int64
+
+	firstPayload, lastPayload time.Time
+	hasPayload                bool
+}
+
+// synEvent is one client-initiated SYN, kept in arrival order. SYN
+// timelines are the only order-sensitive Analysis output, and there is
+// one per connection, so retaining them stays O(flows).
+type synEvent struct {
+	time time.Time
+	flow FlowID
+}
+
+// StreamWindow accumulates one [from, to) time slice of the stream.
+// It answers the same questions as a Capture.Window over the same
+// records — Analyze, FlowBytes, FlowsWithTraffic — without the
+// records.
+type StreamWindow struct {
+	s        *Streamer
+	from, to time.Time
+	perFlow  []flowAcc
+	syns     []synEvent
+}
+
+// From returns the window's inclusive lower bound.
+func (w *StreamWindow) From() time.Time { return w.from }
+
+// To returns the window's exclusive upper bound.
+func (w *StreamWindow) To() time.Time { return w.to }
+
+// record folds one packet, mirroring Capture.Analyze's per-packet body
+// exactly — split per flow so filters can be applied at read time.
+func (w *StreamWindow) record(p Packet) {
+	if p.Time.Before(w.from) || !p.Time.Before(w.to) {
+		return
+	}
+	for int(p.Flow) >= len(w.perFlow) {
+		w.perFlow = append(w.perFlow, flowAcc{})
+	}
+	a := &w.perFlow[p.Flow]
+	a.packets++
+	a.totalWire += p.Wire + p.AckWire
+	if p.Dir == Upstream {
+		a.wireUp += p.Wire
+		a.wireDown += p.AckWire
+		a.payloadUp += p.Payload
+		if p.Flags.SYN && !p.Flags.ACK {
+			w.syns = append(w.syns, synEvent{time: p.Time, flow: p.Flow})
+		}
+	} else {
+		a.wireDown += p.Wire
+		a.wireUp += p.AckWire
+		a.payloadDown += p.Payload
+	}
+	if p.Payload > 0 {
+		if !a.hasPayload {
+			a.firstPayload = p.Time
+			a.lastPayload = p.Time
+			a.hasPayload = true
+		} else {
+			// Records arrive slightly out of order, so the payload
+			// bracket is a min/max fold; over the stably sorted trace
+			// these are exactly the first and last payload instants.
+			if p.Time.Before(a.firstPayload) {
+				a.firstPayload = p.Time
+			}
+			if p.Time.After(a.lastPayload) {
+				a.lastPayload = p.Time
+			}
+		}
+	}
+}
+
+// Analyze merges the per-flow accumulators of the selected flows into
+// one Analysis, bit-identical to Capture.Window(from, to).Analyze(f)
+// over the same records. The SYN timeline is re-established in stable
+// time order — the same discipline Capture's reorder buffer applies to
+// the whole trace before analyzers read it: sort by timestamp, equal
+// timestamps keep arrival order.
+func (w *StreamWindow) Analyze(f FlowFilter) Analysis {
+	var a Analysis
+	for id := range w.perFlow {
+		if f != nil && !f(w.s.flows[id]) {
+			continue
+		}
+		acc := &w.perFlow[id]
+		a.Packets += acc.packets
+		a.TotalWire += acc.totalWire
+		a.WireUp += acc.wireUp
+		a.WireDown += acc.wireDown
+		a.PayloadUp += acc.payloadUp
+		a.PayloadDown += acc.payloadDown
+		if acc.hasPayload {
+			if !a.HasPayload {
+				a.FirstPayload = acc.firstPayload
+				a.LastPayload = acc.lastPayload
+				a.HasPayload = true
+			} else {
+				if acc.firstPayload.Before(a.FirstPayload) {
+					a.FirstPayload = acc.firstPayload
+				}
+				if acc.lastPayload.After(a.LastPayload) {
+					a.LastPayload = acc.lastPayload
+				}
+			}
+		}
+	}
+	for _, e := range w.syns {
+		if f == nil || f(w.s.flows[e.flow]) {
+			a.SYNTimes = append(a.SYNTimes, e.time)
+		}
+	}
+	sort.SliceStable(a.SYNTimes, func(i, j int) bool {
+		return a.SYNTimes[i].Before(a.SYNTimes[j])
+	})
+	a.Connections = len(a.SYNTimes)
+	return a
+}
+
+// FlowBytes returns total wire bytes per flow within the window,
+// indexed by FlowID — the Wuala storage/control classifier input,
+// identical to Capture.Window(from, to).FlowBytes().
+func (w *StreamWindow) FlowBytes() []int64 {
+	out := make([]int64, len(w.s.flows))
+	for id := range w.perFlow {
+		out[id] = w.perFlow[id].totalWire
+	}
+	return out
+}
+
+// FlowsWithTraffic reports which flows carry at least one packet in
+// the window, indexed by FlowID, identical to the Capture method.
+func (w *StreamWindow) FlowsWithTraffic() []bool {
+	out := make([]bool, len(w.s.flows))
+	for id := range w.perFlow {
+		out[id] = w.perFlow[id].packets > 0
+	}
+	return out
+}

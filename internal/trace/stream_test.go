@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestStreamerMatchesCaptureRandomized is the streaming pipeline's
+// equivalence oracle: random flow populations, random packet
+// workloads, random out-of-order record interleavings and random
+// window bounds, asserting that the fold-at-record-time StreamWindow
+// produces field-for-field the same Analysis as buffering everything
+// in a Capture and running Window(...).Analyze(...) afterwards —
+// including the SYNTimes order and the HasPayload payload bracket.
+func TestStreamerMatchesCaptureRandomized(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		wins, cwins, filters := buildRandomPair(rng)
+
+		for wi := range wins {
+			for fi, f := range filters {
+				want := cwins[wi].Analyze(f)
+				got := wins[wi].Analyze(f)
+				if !analysesEqual(want, got) {
+					t.Fatalf("seed %d window %d filter %d:\n capture  %+v\n streamer %+v",
+						seed, wi, fi, want, got)
+				}
+			}
+			if want, got := cwins[wi].FlowBytes(), wins[wi].FlowBytes(); !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d window %d FlowBytes: capture %v streamer %v", seed, wi, want, got)
+			}
+			if want, got := cwins[wi].FlowsWithTraffic(), wins[wi].FlowsWithTraffic(); !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d window %d FlowsWithTraffic: capture %v streamer %v", seed, wi, want, got)
+			}
+		}
+	}
+}
+
+// buildRandomPair records one random trace into both a Capture and a
+// Streamer and returns matching window views over both.
+func buildRandomPair(rng *rand.Rand) ([]*StreamWindow, []*Capture, []FlowFilter) {
+	cap := NewCapture()
+	str := NewStreamer()
+
+	// Random flow population across two server names, so name filters
+	// select non-trivial subsets.
+	names := []string{"control.example", "storage.example"}
+	nFlows := 1 + rng.Intn(6)
+	for i := 0; i < nFlows; i++ {
+		key := FlowKey{
+			ClientAddr: "10.0.0.1", ClientPort: 40000 + i,
+			ServerAddr: "203.0.113.9", ServerPort: 443, Proto: TCP,
+		}
+		name := names[rng.Intn(len(names))]
+		at := time.Duration(rng.Intn(1000)) * time.Millisecond
+		a := cap.OpenFlow(key, name, t0.Add(at))
+		b := str.OpenFlow(key, name, t0.Add(at))
+		if a != b {
+			panic("flow IDs diverged")
+		}
+	}
+
+	// Windows registered up front (the streaming contract), spanning
+	// the whole packet time range and random interior slices; [x, x)
+	// exercises the empty-window edge.
+	const horizonMs = 10_000
+	bounds := [][2]int{{0, horizonMs}, {0, 0}}
+	for i := 0; i < 3; i++ {
+		lo := rng.Intn(horizonMs)
+		hi := lo + rng.Intn(horizonMs-lo+1)
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	var swins []*StreamWindow
+	for _, b := range bounds {
+		swins = append(swins, str.AddWindow(at(b[0]), at(b[1])))
+	}
+
+	// Random workload: mostly in-order timestamps with out-of-order
+	// stragglers (negative jitter), duplicate timestamps to exercise
+	// the stable-order tie-break, SYNs in both directions, zero-payload
+	// control packets and pure-ACK accounting.
+	n := rng.Intn(400)
+	base := 0
+	for i := 0; i < n; i++ {
+		base += rng.Intn(40)
+		ts := base
+		if rng.Intn(5) == 0 {
+			ts -= rng.Intn(200) // straggler from a slower timeline
+			if ts < 0 {
+				ts = 0
+			}
+		}
+		if ts >= horizonMs {
+			ts = horizonMs - 1
+		}
+		p := Packet{
+			Time: at(ts),
+			Flow: FlowID(rng.Intn(nFlows)),
+			Dir:  Direction(rng.Intn(2)),
+		}
+		switch rng.Intn(6) {
+		case 0: // client SYN
+			p.Flags = Flags{SYN: true}
+			p.Wire = 74
+			p.Segments = 1
+		case 1: // SYN-ACK (must not count as a connection)
+			p.Flags = Flags{SYN: true, ACK: true}
+			p.Wire = 74
+			p.Segments = 1
+		case 2: // pure control, no payload
+			p.Flags = Flags{ACK: true}
+			p.Wire = 66
+			p.Segments = 1
+		default: // data record with delayed-ACK accounting
+			p.Flags = Flags{ACK: true}
+			p.Payload = int64(1 + rng.Intn(3000))
+			p.Wire = p.Payload + 66
+			p.Segments = 1 + int(p.Payload/1460)
+			p.AckWire = int64(rng.Intn(2)) * 66
+		}
+		cap.Record(p)
+		str.Record(p)
+	}
+
+	var cwins []*Capture
+	for _, b := range bounds {
+		cwins = append(cwins, cap.Window(at(b[0]), at(b[1])))
+	}
+
+	filters := []FlowFilter{
+		nil,
+		AllFlows,
+		func(f FlowInfo) bool { return f.ServerName == "storage.example" },
+		func(f FlowInfo) bool { return f.ID%2 == 0 },
+		func(FlowInfo) bool { return false },
+	}
+	return swins, cwins, filters
+}
+
+// analysesEqual compares two Analysis values field-for-field, treating
+// the SYN timelines as equal only when they match element by element
+// in order.
+func analysesEqual(a, b Analysis) bool {
+	if a.Packets != b.Packets ||
+		a.TotalWire != b.TotalWire ||
+		a.WireUp != b.WireUp || a.WireDown != b.WireDown ||
+		a.PayloadUp != b.PayloadUp || a.PayloadDown != b.PayloadDown ||
+		a.HasPayload != b.HasPayload ||
+		a.Connections != b.Connections ||
+		len(a.SYNTimes) != len(b.SYNTimes) {
+		return false
+	}
+	if a.HasPayload && (!a.FirstPayload.Equal(b.FirstPayload) || !a.LastPayload.Equal(b.LastPayload)) {
+		return false
+	}
+	for i := range a.SYNTimes {
+		if !a.SYNTimes[i].Equal(b.SYNTimes[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAddWindowRejectsLateRegistration pins the streaming contract: a
+// window whose lower bound is not strictly after every recorded
+// timestamp would have to see packets that were already discarded.
+func TestAddWindowRejectsLateRegistration(t *testing.T) {
+	s := NewStreamer()
+	id := s.OpenFlow(FlowKey{}, "x", at(0))
+	s.Record(Packet{Time: at(100), Flow: id, Wire: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddWindow accepted a lower bound at an already-recorded timestamp")
+		}
+	}()
+	s.AddWindow(at(100), FarFuture)
+}
+
+// TestAddWindowAfterQuietPointOK registers a window strictly after the
+// last recorded packet — the benchmark engine's pattern (login settles,
+// then the measurement window opens).
+func TestAddWindowAfterQuietPointOK(t *testing.T) {
+	s := NewStreamer()
+	id := s.OpenFlow(FlowKey{}, "x", at(0))
+	s.Record(Packet{Time: at(100), Flow: id, Wire: 1, Payload: 5})
+	w := s.AddWindow(at(101), FarFuture)
+	s.Record(Packet{Time: at(150), Flow: id, Wire: 10, Payload: 7})
+	a := w.Analyze(AllFlows)
+	if a.Packets != 1 || a.TotalWire != 10 || a.PayloadUp != 7 {
+		t.Fatalf("window saw %+v, want only the post-registration packet", a)
+	}
+	if !a.HasPayload || !a.FirstPayload.Equal(at(150)) || !a.LastPayload.Equal(at(150)) {
+		t.Fatalf("payload bracket = %+v", a)
+	}
+}
