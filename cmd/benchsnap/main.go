@@ -6,10 +6,12 @@
 // the full campaign-of-campaigns matrix (every service x workload x
 // repetition flattened onto the shared scheduler pool, with a
 // bit-identity check against the sequential engine), the
-// MeasureWindow path against the seed copy-and-rescan baseline, and a
+// MeasureWindow path against the seed copy-and-rescan baseline, a
 // memory micro (B/op, allocs/op via testing.Benchmark) of one large
 // multi-MB repetition through the streaming engine vs a buffered
-// trace. scripts/bench.sh wraps it.
+// trace, and a transport micro (ns and Sink.Record calls for a 16 MB
+// loss-free transfer) of the closed-form engine vs the per-round
+// event loop. scripts/bench.sh wraps it.
 //
 // Usage:
 //
@@ -36,6 +38,10 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -76,14 +82,35 @@ type matrixMicro struct {
 // streaming pipeline removes; a future regression shows up here as
 // the two columns converging.
 type memoryMicro struct {
-	Workload             string `json:"workload"`
-	PacketsPerRep        int    `json:"packets_per_rep"`
-	FlowsPerRep          int    `json:"flows_per_rep"`
-	StreamingBytesPerOp  int64  `json:"streaming_b_per_op"`
-	StreamingAllocsPerOp int64  `json:"streaming_allocs_per_op"`
-	BufferedBytesPerOp   int64  `json:"buffered_b_per_op"`
-	BufferedAllocsPerOp  int64  `json:"buffered_allocs_per_op"`
-	SavedBytesPerOp      int64  `json:"saved_b_per_op"`
+	Workload string `json:"workload"`
+	// PacketsPerRep is the per-round packet count of one repetition;
+	// RecordsPerRep is how many records the capture actually stores
+	// once steady-state transfers collapse into span records.
+	PacketsPerRep        int   `json:"packets_per_rep"`
+	RecordsPerRep        int   `json:"records_per_rep"`
+	FlowsPerRep          int   `json:"flows_per_rep"`
+	StreamingBytesPerOp  int64 `json:"streaming_b_per_op"`
+	StreamingAllocsPerOp int64 `json:"streaming_allocs_per_op"`
+	BufferedBytesPerOp   int64 `json:"buffered_b_per_op"`
+	BufferedAllocsPerOp  int64 `json:"buffered_allocs_per_op"`
+	SavedBytesPerOp      int64 `json:"saved_b_per_op"`
+}
+
+// transportMicro times one large loss-free transfer through the
+// closed-form transport engine against the per-round event loop it
+// replaced (Dialer.ForceEventLoop), and counts the Sink.Record calls
+// each needed — the O(bytes/BDP) -> O(1) collapse of the steady-state
+// phase, straight off the engines. The engines are record-for-record
+// equivalent (internal/tcpsim's equivalence tests pin it); only the
+// cost of producing the records differs.
+type transportMicro struct {
+	Workload         string  `json:"workload"`
+	AnalyticNs       int64   `json:"analytic_ns"`
+	EventLoopNs      int64   `json:"event_loop_ns"`
+	SpeedupX         float64 `json:"speedup_x"`
+	AnalyticRecords  int64   `json:"analytic_records"`
+	EventLoopRecords int64   `json:"event_loop_records"`
+	RecordReductionX float64 `json:"record_reduction_x"`
 }
 
 type micro struct {
@@ -93,6 +120,7 @@ type micro struct {
 	Matrix           matrixMicro     `json:"matrix"`
 	MeasureWindow    measureMicro    `json:"measure_window"`
 	Memory           memoryMicro     `json:"memory"`
+	Transport        transportMicro  `json:"transport"`
 }
 
 // snapshot is a core.Campaign plus the engine micro section; the
@@ -167,6 +195,7 @@ func main() {
 	}
 
 	snap.Micro.Memory = memoryMicroBench(*seed)
+	snap.Micro.Transport = transportMicroBench()
 
 	if !*skipFig6 {
 		v, _ := core.VantageByName("twente")
@@ -232,7 +261,8 @@ func memoryMicroBench(seed int64) memoryMicro {
 
 	return memoryMicro{
 		Workload:             fmt.Sprintf("%d x %d MB", batch.Count, batch.Size>>20),
-		PacketsPerRep:        tb.Cap.Len(),
+		PacketsPerRep:        tb.Cap.ExpandedLen(),
+		RecordsPerRep:        tb.Cap.Len(),
 		FlowsPerRep:          tb.Cap.NumFlows(),
 		StreamingBytesPerOp:  stream.AllocedBytesPerOp(),
 		StreamingAllocsPerOp: stream.AllocsPerOp(),
@@ -240,6 +270,61 @@ func memoryMicroBench(seed int64) memoryMicro {
 		BufferedAllocsPerOp:  buffered.AllocsPerOp(),
 		SavedBytesPerOp:      buffered.AllocedBytesPerOp() - stream.AllocedBytesPerOp(),
 	}
+}
+
+// countingSink counts Sink.Record calls and discards the records: it
+// isolates the engine's own cost from any trace retention.
+type countingSink struct {
+	flows   int
+	records int64
+}
+
+func (s *countingSink) OpenFlow(trace.FlowKey, string, time.Time) trace.FlowID {
+	s.flows++
+	return trace.FlowID(s.flows - 1)
+}
+func (s *countingSink) Record(trace.Packet) { s.records++ }
+
+// transportMicroBench measures a 16 MB loss-free upstream transfer on
+// a 30 Mb/s mid-RTT path (a Wuala-Zurich-like data center) through
+// the closed-form engine and through the per-round event loop: ns per
+// transfer and Sink.Record calls per transfer.
+func transportMicroBench() transportMicro {
+	const payload = 16 << 20
+	// Topology built once: the timed region is dial + transfer, i.e.
+	// the transport engine itself.
+	n := netem.New(sim.NewClock(), sim.NewRNG(1))
+	clientHost := n.AddHost(&netem.Host{Name: "client.sim", Addr: "10.0.0.1",
+		Coord: geo.Coord{Lat: 52.22, Lon: 6.89}})
+	server := n.AddHost(&netem.Host{Name: "server.sim", Addr: "203.0.113.1",
+		Coord: geo.Coord{Lat: 47.38, Lon: 8.54}, RateBps: 30e6})
+	run := func(force bool) (time.Duration, int64) {
+		var sink countingSink
+		var rec int64
+		wall := minWall(7, func() {
+			d := tcpsim.NewDialer(n, &sink, clientHost)
+			d.ForceEventLoop = force
+			before := sink.records
+			c := d.Dial(server, "storage.sim", sim.Epoch, tcpsim.DefaultTLS)
+			c.Send(payload)
+			rec = sink.records - before
+		})
+		return wall, rec
+	}
+	analyticWall, analyticRec := run(false)
+	eventWall, eventRec := run(true)
+	m := transportMicro{
+		Workload:         "16 MB upstream, 30 Mb/s, loss-free",
+		AnalyticNs:       analyticWall.Nanoseconds(),
+		EventLoopNs:      eventWall.Nanoseconds(),
+		SpeedupX:         ratio(eventWall, analyticWall),
+		AnalyticRecords:  analyticRec,
+		EventLoopRecords: eventRec,
+	}
+	if analyticRec > 0 {
+		m.RecordReductionX = float64(eventRec) / float64(analyticRec)
+	}
+	return m
 }
 
 // minWall returns the fastest of n wall-clock timings of fn.
@@ -283,7 +368,7 @@ func syncedTestbed(p client.Profile, seed int64) (*core.Testbed, time.Time, int6
 // identical reference against the production MeasureWindow.
 func seedMeasureWindow(tb *core.Testbed, t0 time.Time, contentBytes int64) core.Metrics {
 	var packets []trace.Packet
-	for _, p := range tb.Cap.Packets() {
+	for _, p := range tb.Cap.ExpandedPackets() {
 		if !p.Time.Before(t0) && p.Time.Before(trace.FarFuture) {
 			packets = append(packets, p)
 		}

@@ -1,7 +1,11 @@
 // Command tracedump captures and inspects benchmark traces. It is a
 // packet-level tool, so it runs its experiment on a buffered
 // trace.Capture — the one consumer that exists precisely to show the
-// packets the streaming campaign engine never keeps.
+// packets the streaming campaign engine never keeps. The capture
+// stores steady-state transfers as span records (one record per run of
+// uniform rate-limited slices); the summaries report both the stored
+// record count and the per-round packet count the spans stand for, so
+// the span-record reduction is visible from the CLI.
 //
 // Run a synchronization experiment and save its packet trace:
 //
@@ -10,6 +14,10 @@
 // Summarize a previously saved trace (capinfos-style):
 //
 //	tracedump -in run.trace
+//
+// Per-flow record accounting (records vs expanded packets vs spans):
+//
+//	tracedump -service skydrive -files 1 -size 8000000 -flows
 package main
 
 import (
@@ -32,11 +40,12 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		out     = flag.String("out", "", "write the trace to this file")
 		in      = flag.String("in", "", "summarize this trace file instead of running")
+		flows   = flag.Bool("flows", false, "print the per-flow record-count summary instead of the capinfos view")
 	)
 	flag.Parse()
 
 	if *in != "" {
-		if err := summarize(*in); err != nil {
+		if err := summarize(*in, *flows); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -57,7 +66,7 @@ func main() {
 	tb.Clock.AdvanceTo(res.Done)
 
 	if *out == "" {
-		printSummary(tb.Cap)
+		printAny(tb.Cap, *flows)
 		return
 	}
 	f, err := os.Create(*out)
@@ -70,10 +79,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d packets on %d flows to %s\n", tb.Cap.Len(), tb.Cap.NumFlows(), *out)
+	fmt.Printf("wrote %d records (%d packets) on %d flows to %s\n",
+		tb.Cap.Len(), tb.Cap.ExpandedLen(), tb.Cap.NumFlows(), *out)
 }
 
-func summarize(path string) error {
+func summarize(path string, flows bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -83,13 +93,22 @@ func summarize(path string) error {
 	if err != nil {
 		return err
 	}
-	printSummary(cap)
+	printAny(cap, flows)
 	return nil
+}
+
+func printAny(cap *trace.Capture, flows bool) {
+	if flows {
+		printFlowSummary(cap)
+		return
+	}
+	printSummary(cap)
 }
 
 func printSummary(cap *trace.Capture) {
 	pkts := cap.Packets()
-	fmt.Printf("packets:        %d records\n", cap.Len())
+	fmt.Printf("records:        %d stored (%d span aggregates)\n", cap.Len(), cap.SpanCount())
+	fmt.Printf("packets:        %d after span expansion\n", cap.ExpandedLen())
 	fmt.Printf("flows:          %d\n", cap.NumFlows())
 	fmt.Printf("connections:    %d client-initiated\n", cap.ConnectionCount(trace.AllFlows))
 	fmt.Printf("bytes total:    %d on the wire\n", cap.TotalWireBytes(trace.AllFlows))
@@ -97,7 +116,14 @@ func printSummary(cap *trace.Capture) {
 		cap.PayloadBytesDir(trace.AllFlows, trace.Upstream),
 		cap.PayloadBytesDir(trace.AllFlows, trace.Downstream))
 	if len(pkts) > 0 {
-		fmt.Printf("span:           %s\n", pkts[len(pkts)-1].Time.Sub(pkts[0].Time))
+		// A trailing span's last slice, not its first, ends the trace.
+		last := pkts[0].End()
+		for _, p := range pkts {
+			if e := p.End(); e.After(last) {
+				last = e
+			}
+		}
+		fmt.Printf("span:           %s\n", last.Sub(pkts[0].Time))
 	}
 	fmt.Println("\nper-server-name totals:")
 	byName := map[string]int64{}
@@ -110,5 +136,41 @@ func printSummary(cap *trace.Capture) {
 			fmt.Printf("  %-32s %d bytes\n", fl.ServerName, v)
 			delete(byName, fl.ServerName)
 		}
+	}
+}
+
+// printFlowSummary reports, per flow, how many records the capture
+// stores against how many per-round packets they stand for — the
+// observable win of span aggregation, flow by flow.
+func printFlowSummary(cap *trace.Capture) {
+	type acc struct {
+		records, packets, spans int
+		wire                    int64
+	}
+	perFlow := make([]acc, cap.NumFlows())
+	for _, p := range cap.Packets() {
+		a := &perFlow[p.Flow]
+		a.records++
+		a.packets += p.SliceCount()
+		if p.IsSpan() {
+			a.spans++
+		}
+		a.wire += p.Wire + p.AckWire
+	}
+	fmt.Printf("%-6s %-32s %10s %10s %8s %12s\n", "flow", "server", "records", "packets", "spans", "wire bytes")
+	var tot acc
+	for _, fl := range cap.Flows() {
+		a := perFlow[fl.ID]
+		fmt.Printf("%-6d %-32s %10d %10d %8d %12d\n",
+			fl.ID, fl.ServerName, a.records, a.packets, a.spans, a.wire)
+		tot.records += a.records
+		tot.packets += a.packets
+		tot.spans += a.spans
+		tot.wire += a.wire
+	}
+	fmt.Printf("%-6s %-32s %10d %10d %8d %12d\n", "total", "", tot.records, tot.packets, tot.spans, tot.wire)
+	if tot.records > 0 {
+		fmt.Printf("\nspan aggregation: %.1fx fewer records than per-round packets\n",
+			float64(tot.packets)/float64(tot.records))
 	}
 }

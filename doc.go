@@ -18,6 +18,16 @@
 // analysis and campaign repetition are the hot paths of the whole
 // tool. They are organised as follows:
 //
+//   - internal/tcpsim is a closed-form transport engine: on loss-free
+//     paths slow start is evaluated as the geometric cwnd schedule it
+//     is (O(log n) per-round records) and the rate-limited steady
+//     state collapses into a single trace.Span record plus one
+//     duration formula — one Sink.Record call where the seed engine
+//     paid O(bytes/BDP) of them. Lossy paths keep the per-round event
+//     loop so RNG draw order and fast-retransmit records are
+//     unchanged; Dialer.ForceEventLoop exposes that loop as the
+//     reference engine for the equivalence tests and the benchsnap
+//     transport micro.
 //   - internal/trace.Sink is the recording boundary the transport
 //     simulator writes against, with two implementations. Capture
 //     records packets append-only; stragglers from connections
@@ -27,8 +37,18 @@
 //     folds each packet into the per-flow accumulators of every
 //     pre-registered window and discards it, so a repetition's trace
 //     memory is O(flows) instead of O(packets).
+//   - trace.Span records carry their slicing parameters (slice size,
+//     spacing, count), so both sinks fold them in O(1) when a span
+//     falls inside one window and expand them deterministically only
+//     at window boundaries (Packet.Clip) — byte- and time-identical
+//     to the per-round records they stand for. Per-packet analyzers
+//     (Bursts, UploadPauses, throughput/cumulative timelines) walk
+//     Capture.ExpandedPackets, the materialized per-round view; the
+//     CSV trace format (v2) round-trips spans intact, and
+//     cmd/tracedump reports stored records vs expanded packets.
 //   - Capture.Window returns a zero-copy, binary-searched view of a
-//     time slice (half-open [from, to)), sharing the backing store.
+//     time slice (half-open [from, to)), sharing the backing store;
+//     only windows that actually cut through a span copy and clip.
 //   - Capture.Analyze computes every scalar metric of Sect. 5 — byte
 //     accounting in both directions, payload bracket, SYN timeline,
 //     connection count — in one scan per flow selection. The

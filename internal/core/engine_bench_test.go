@@ -28,9 +28,10 @@ func syncedTestbed(b *testing.B, p client.Profile) (*Testbed, time.Time, int64) 
 // own flow-set materialisation) per metric. It is the baseline the
 // BENCH snapshots track MeasureWindow against.
 func seedMeasureWindow(tb *Testbed, t0 time.Time, contentBytes int64) Metrics {
-	// Seed Window: copy every packet in range.
+	// Seed Window: copy every packet in range (spans expanded — the
+	// seed engine recorded every transmission round individually).
 	var packets []trace.Packet
-	for _, p := range tb.Cap.Packets() {
+	for _, p := range tb.Cap.ExpandedPackets() {
 		if !p.Time.Before(t0) && p.Time.Before(trace.FarFuture) {
 			packets = append(packets, p)
 		}

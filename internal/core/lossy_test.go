@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/tcpsim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The closed-form transport engine handles loss-free transfers; paths
+// with LossRate > 0 stay on the per-round event loop so RNG draw order
+// and fast-retransmit records are untouched. This file is the
+// end-to-end guard for that kept path: a golden campaign cell over a
+// lossy network pins the retransmission accounting bit for bit, so the
+// event loop can never silently drift from the analytic engine's
+// accounting conventions.
+
+// lossyRun drives one repetition over a path with the given loss rate
+// and returns its metrics plus (in buffered mode) the capture.
+func lossyRun(p client.Profile, batch workload.Batch, seed int64, loss float64, streaming bool) (Metrics, *trace.Capture) {
+	var tb *Testbed
+	if streaming {
+		tb = NewStreamingTestbed(p, seed, 0)
+	} else {
+		tb = NewTestbed(p, seed, 0)
+	}
+	tb.Net.LossRate = loss
+	start := tb.Settle()
+	t0 := tb.Clock.Now()
+	tb.StartWindow(t0)
+	batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
+	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+	tb.Clock.AdvanceTo(res.Done)
+	return MeasureWindow(tb, t0, batch.Total()), tb.Cap
+}
+
+// countRetransmits counts fast-retransmit records: MSS-sized wire-only
+// segments with no payload, exactly as tcpsim emits them.
+func countRetransmits(cap *trace.Capture) int {
+	n := 0
+	for _, p := range cap.ExpandedPackets() {
+		if p.Payload == 0 && p.Segments == 1 &&
+			p.Wire == tcpsim.MSS+tcpsim.HeaderPerSeg &&
+			!p.Flags.SYN && !p.Flags.FIN && !p.Flags.RST {
+			n++
+		}
+	}
+	return n
+}
+
+// TestGoldenLossyCampaign pins a lossy repetition end to end: the
+// retransmit count and every Sect. 5 metric, captured from the current
+// event-loop engine at a fixed seed, on the SkyDrive profile (slowest
+// per-connection rate, so the 2 MB workload spends many rounds in the
+// rate-limited regime where loss verdicts are drawn).
+func TestGoldenLossyCampaign(t *testing.T) {
+	batch := workload.Batch{Count: 2, Size: 1 << 20, Kind: workload.Binary}
+	p := client.SkyDrive()
+
+	m, cap := lossyRun(p, batch, 99, 0.02, false)
+
+	want := Metrics{
+		Startup:      goldenLossy.Startup,
+		Completion:   goldenLossy.Completion,
+		TotalTraffic: goldenLossy.TotalTraffic,
+		StorageUp:    goldenLossy.StorageUp,
+		Overhead:     goldenLossy.Overhead,
+		Connections:  goldenLossy.Connections,
+		GoodputBps:   goldenLossy.GoodputBps,
+	}
+	if m != want {
+		t.Errorf("lossy metrics drifted from golden run\n got %+v\nwant %+v", m, want)
+	}
+	if got := countRetransmits(cap); got != goldenLossyRetransmits {
+		t.Errorf("retransmit records = %d, want %d", got, goldenLossyRetransmits)
+	}
+	if cap.SpanCount() != 0 {
+		t.Errorf("lossy trace contains %d span records; the event loop must emit per-round records", cap.SpanCount())
+	}
+
+	// A clean run of the same cell must beat the lossy one on both
+	// wire volume and completion — retransmissions are pure overhead.
+	clean, _ := lossyRun(p, batch, 99, 0, false)
+	if clean.TotalTraffic >= m.TotalTraffic {
+		t.Errorf("lossy run carried no extra wire bytes: %d vs clean %d", m.TotalTraffic, clean.TotalTraffic)
+	}
+	if clean.Completion >= m.Completion {
+		t.Errorf("lossy run was not slower: %v vs clean %v", m.Completion, clean.Completion)
+	}
+}
+
+// TestLossyStreamingMatchesBuffered extends the streaming-vs-buffered
+// equivalence to lossy paths: the streaming fold must agree with the
+// buffered trace bit for bit even when the event loop interleaves
+// retransmission records.
+func TestLossyStreamingMatchesBuffered(t *testing.T) {
+	batch := workload.Batch{Count: 2, Size: 1 << 20, Kind: workload.Binary}
+	for _, svc := range []string{"skydrive", "dropbox", "googledrive"} {
+		p, _ := client.ProfileFor(svc)
+		sm, _ := lossyRun(p, batch, 7, 0.03, true)
+		bm, _ := lossyRun(p, batch, 7, 0.03, false)
+		if sm != bm {
+			t.Errorf("%s: lossy streaming metrics diverge\n stream %+v\n buffer %+v", svc, sm, bm)
+		}
+	}
+}
+
+// Golden values captured from the event-loop engine at seed 99,
+// SkyDrive, 2 x 1 MB, 2% segment loss (see TestGoldenLossyCampaign).
+var goldenLossy = Metrics{
+	Startup:      10263442211,
+	Completion:   11927387326,
+	TotalTraffic: 2346419,
+	StorageUp:    2274917,
+	Overhead:     1.1188597679138184,
+	Connections:  1,
+	GoodputBps:   1.4066128265515505e+06,
+}
+
+const goldenLossyRetransmits = 24

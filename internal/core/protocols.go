@@ -97,11 +97,13 @@ func AnalyzeProtocols(p client.Profile, seed int64) ProtocolReport {
 }
 
 // activityClusterStarts groups trace packets into bursts separated by
-// at least `quiet` and returns each burst's start instant.
+// at least `quiet` and returns each burst's start instant. It walks
+// the span-expanded trace so a long transmission counts as continuous
+// activity, not a single instant followed by silence.
 func activityClusterStarts(cap *trace.Capture, quiet time.Duration) []time.Time {
 	var starts []time.Time
 	var last time.Time
-	for i, p := range cap.Packets() {
+	for i, p := range cap.ExpandedPackets() {
 		if i == 0 || p.Time.Sub(last) >= quiet {
 			starts = append(starts, p.Time)
 		}

@@ -18,21 +18,12 @@ import (
 // transmission stopped. A cut connection is left positioned at the
 // cut instant; callers then Abort it and retry on a fresh connection.
 func (c *Conn) SendUntil(n int64, deadline time.Time) (sent int64, cut bool, last time.Time) {
+	c.ensureOpen("SendUntil")
 	if n <= 0 {
 		return 0, false, c.now
 	}
-	wireApp := n
-	if c.tls.Enabled && c.tls.RecordOverheadPct > 0 {
-		wireApp = n + int64(float64(n)*c.tls.RecordOverheadPct/100)
-	}
-
-	var bdp int64
-	if c.rateBps > 0 {
-		bdp = int64(float64(c.rateBps) / 8 * c.rtt.Seconds())
-		if bdp < MSS {
-			bdp = MSS
-		}
-	}
+	wireApp := c.wireBytes(n)
+	bdp := c.bdpBytes()
 
 	t := c.now
 	remaining := wireApp
@@ -55,7 +46,7 @@ func (c *Conn) SendUntil(n int64, deadline time.Time) (sent int64, cut bool, las
 
 		var step time.Duration
 		if c.rateBps > 0 {
-			step = time.Duration(float64(burst*8) / float64(c.rateBps) * float64(time.Second))
+			step = c.serTime(burst)
 		}
 		if remaining > 0 && (bdp == 0 || cwnd < bdp) && c.rtt > step {
 			step = c.rtt // ack-clocked slow-start round

@@ -1,6 +1,6 @@
-// Package tcpsim provides an analytic per-connection TCP/TLS model that
-// emits packet records into a trace.Sink (a buffering Capture or a
-// streaming Streamer).
+// Package tcpsim provides a closed-form per-connection TCP/TLS model
+// that emits packet records into a trace.Sink (a buffering Capture or
+// a streaming Streamer).
 //
 // The model reproduces the transport mechanisms that dominate the
 // paper's results:
@@ -16,6 +16,29 @@
 //   - application-layer waits (per-chunk commits, per-file
 //     acknowledgments) that show up as upload pauses and bursts.
 //
+// # Transfer engine
+//
+// On a loss-free path a transfer is fully deterministic, so it is
+// computed in closed form rather than simulated round by round. Slow
+// start is a geometric cwnd schedule — the rounds, the per-round burst
+// sizes and the phase duration follow directly from the doubling law,
+// so the engine emits one aggregated record per round, O(log n) of
+// them. Once the window reaches the path's bandwidth-delay product the
+// sender transmits continuously at the path rate: the whole
+// steady-state phase collapses into a single trace.Span record (the
+// run of uniform BDP-sized slices, with its exact slicing parameters)
+// and one formula for its duration — one Sink.Record call where the
+// previous engine paid O(bytes/BDP) of them. Every derived metric is
+// bit-identical because the span expands deterministically back into
+// the per-round records (see trace.Span).
+//
+// Paths with LossRate > 0 keep the per-round event loop: loss verdicts
+// consume the network RNG once per round, so the draw order — and with
+// it every retransmission record and halved window — stays exactly as
+// it always was. Dialer.ForceEventLoop drives loss-free transfers
+// through the same event loop; the equivalence tests and the benchsnap
+// transport micro use it as the reference engine.
+//
 // Connections keep their own virtual timeline; all emitted packets are
 // timestamped on that timeline and merged in time order by the capture.
 package tcpsim
@@ -28,13 +51,15 @@ import (
 	"repro/internal/trace"
 )
 
-// Transport-level constants. MSS assumes Ethernet without jumbo
-// frames; the 66-byte overhead is Ethernet+IPv4+TCP with timestamps.
+// Transport-level constants. MSS and the 66-byte per-segment overhead
+// (Ethernet+IPv4+TCP with timestamps) are the trace layer's wire
+// vocabulary — spans expand with them — so they live in trace and are
+// aliased here for the transport's own arithmetic and for existing
+// callers.
 const (
-	MSS           = 1460
-	HeaderPerSeg  = 66
-	initCwndSegs  = 10
-	ackEveryOther = 2 // delayed ACK: one pure ACK per two segments
+	MSS          = trace.MSS
+	HeaderPerSeg = trace.HeaderPerSeg
+	initCwndSegs = 10
 )
 
 // TLSConfig describes the TLS behaviour of a connection.
@@ -66,7 +91,19 @@ type Dialer struct {
 	Sink   trace.Sink
 	Client *netem.Host
 
+	// ForceEventLoop routes loss-free transfers through the per-round
+	// event loop instead of the closed-form engine. The two are
+	// record-for-record identical (pinned by the equivalence tests);
+	// the knob exists so tests and the benchsnap transport micro can
+	// run the reference engine on demand.
+	ForceEventLoop bool
+
 	nextPort int
+
+	// lossKeepP / lossKeep memoise lossEvent's no-loss probability
+	// prefix products for the current loss rate; see keepProb.
+	lossKeepP float64
+	lossKeep  []float64
 }
 
 // NewDialer returns a dialer for the given client host.
@@ -175,6 +212,17 @@ func (c *Conn) ServerName() string { return c.serverName }
 func (c *Conn) BytesUp() int64   { return c.bytesUp }
 func (c *Conn) BytesDown() int64 { return c.bytesDown }
 
+// ensureOpen panics when traffic is attempted on a connection that
+// already completed its FIN exchange (Close) or was reset (Abort). A
+// FIN'd flow silently carrying payload would corrupt every per-flow
+// metric the analyzers derive, so a campaign bug here must fail loudly
+// instead of polluting the trace.
+func (c *Conn) ensureOpen(op string) {
+	if c.closed {
+		panic(fmt.Sprintf("tcpsim: %s on closed connection %s (flow %d)", op, c.serverName, c.flow))
+	}
+}
+
 // Wait advances the connection timeline to at least t. It models
 // application-level thinking time (e.g. a client waiting for a commit
 // acknowledgment on another connection).
@@ -195,6 +243,7 @@ func (c *Conn) Idle(d time.Duration) { c.now = c.now.Add(d) }
 // timeline advances to lastSent; callers that need the server response
 // use serverDone (see RequestResponse).
 func (c *Conn) Send(n int64) (lastSent, serverDone time.Time) {
+	c.ensureOpen("Send")
 	last := c.transfer(trace.Upstream, n)
 	c.bytesUp += n
 	c.now = last
@@ -206,6 +255,7 @@ func (c *Conn) Send(n int64) (lastSent, serverDone time.Time) {
 // plus processing). It returns when the client has received everything,
 // and advances the connection timeline to that instant.
 func (c *Conn) Recv(serverStart time.Time, n int64) (clientDone time.Time) {
+	c.ensureOpen("Recv")
 	c.Wait(serverStart)
 	last := c.transfer(trace.Downstream, n)
 	c.bytesDown += n
@@ -236,11 +286,43 @@ func (c *Conn) Close() time.Time {
 	return c.now
 }
 
-// transfer simulates moving n application bytes in one direction with
-// slow start and a path-rate cap, emitting aggregated packet records.
-// It returns the instant the last byte is put on the wire by the
-// sender; for upstream that is client time, for downstream server time
-// (callers add rtt/2 for delivery).
+// wireBytes applies the TLS record framing inflation to n application
+// bytes: what TCP actually carries.
+func (c *Conn) wireBytes(n int64) int64 {
+	if c.tls.Enabled && c.tls.RecordOverheadPct > 0 {
+		return n + int64(float64(n)*c.tls.RecordOverheadPct/100)
+	}
+	return n
+}
+
+// bdpBytes returns the path's bandwidth-delay product: once cwnd
+// reaches it, the sender is rate-limited and transmits continuously.
+// Zero means the path is uncapped.
+func (c *Conn) bdpBytes() int64 {
+	if c.rateBps <= 0 {
+		return 0
+	}
+	bdp := int64(float64(c.rateBps) / 8 * c.rtt.Seconds())
+	if bdp < MSS {
+		bdp = MSS
+	}
+	return bdp
+}
+
+// serTime is the serialization delay of n bytes at the path rate.
+func (c *Conn) serTime(n int64) time.Duration {
+	return time.Duration(float64(n*8) / float64(c.rateBps) * float64(time.Second))
+}
+
+// transfer moves n application bytes in one direction with slow start
+// and a path-rate cap, emitting aggregated packet records. It returns
+// the instant the last byte is put on the wire by the sender; for
+// upstream that is client time, for downstream server time (callers
+// add rtt/2 for delivery).
+//
+// Loss-free transfers run the closed-form engine; lossy paths (and
+// ForceEventLoop) run the per-round event loop, preserving the RNG
+// draw order and the fast-retransmit records exactly.
 func (c *Conn) transfer(dir trace.Direction, n int64) time.Time {
 	if n < 0 {
 		panic(fmt.Sprintf("tcpsim: negative transfer %d", n))
@@ -248,26 +330,104 @@ func (c *Conn) transfer(dir trace.Direction, n int64) time.Time {
 	if n == 0 {
 		return c.now
 	}
-	// TLS record framing inflates what TCP actually carries.
-	wireApp := n
-	if c.tls.Enabled && c.tls.RecordOverheadPct > 0 {
-		wireApp = n + int64(float64(n)*c.tls.RecordOverheadPct/100)
+	if c.d.Net.LossRate > 0 || c.d.ForceEventLoop {
+		return c.transferEventLoop(dir, c.wireBytes(n))
 	}
+	return c.transferAnalytic(dir, c.wireBytes(n))
+}
 
+// transferAnalytic is the closed-form engine for deterministic
+// (loss-free) transfers.
+//
+// Slow start is a geometric schedule: bursts of cwnd, 2·cwnd, 4·cwnd,
+// ... bytes, one ACK-clocked round apart, until the window reaches the
+// path BDP (after at most ⌈log2(bdp/cwnd)⌉ doublings) or the transfer
+// ends. The round count and byte coverage follow from the geometric
+// sum cwnd·(2^r − 1); the engine emits the r per-round records this
+// schedule prescribes — identical to the event loop's, without
+// simulating the ACK clock.
+//
+// The steady state transmits continuously at rateBps in BDP-sized
+// slices: k = ⌈remaining/bdp⌉ slices, k−1 full plus a final partial
+// one, each taking its serialization time. That whole phase is one
+// trace.Span record and one duration formula,
+//
+//	(k−1)·ser(bdp) + ser(last),
+//
+// which equals the event loop's slice-by-slice accumulation exactly
+// (iterated addition of a constant Duration is exact integer math).
+func (c *Conn) transferAnalytic(dir trace.Direction, wireApp int64) time.Time {
 	cwnd := c.upCwnd
 	if dir == trace.Downstream {
 		cwnd = c.downCwnd
 	}
+	bdp := c.bdpBytes()
 
-	// Bandwidth-delay product: once cwnd reaches it, the sender is
-	// rate-limited and transmits continuously.
-	var bdp int64
-	if c.rateBps > 0 {
-		bdp = int64(float64(c.rateBps) / 8 * c.rtt.Seconds())
-		if bdp < MSS {
-			bdp = MSS
+	t := c.now
+	remaining := wireApp
+
+	// Slow-start phase: one doubling burst per round until the window
+	// fills the pipe or the bytes run out.
+	for remaining > 0 && (bdp == 0 || cwnd < bdp) {
+		burst := cwnd
+		if burst > remaining {
+			burst = remaining
+		}
+		c.emitData(t, dir, burst)
+		remaining -= burst
+		if remaining > 0 {
+			// Wait for the ACK clock before the next round.
+			round := c.rtt
+			if c.rateBps > 0 {
+				if ser := c.serTime(burst); ser > round {
+					round = ser
+				}
+			}
+			t = t.Add(round)
+		} else if c.rateBps > 0 {
+			// Last burst: the final byte leaves after its own
+			// serialization time.
+			t = t.Add(c.serTime(burst))
+		}
+		cwnd *= 2
+		if bdp > 0 && cwnd > bdp {
+			cwnd = bdp
 		}
 	}
+
+	// Steady state: continuous transmission at the path rate, one span
+	// for the whole run of BDP-sized slices.
+	if remaining > 0 {
+		k := (remaining + bdp - 1) / bdp
+		last := remaining - (k-1)*bdp
+		serFull := c.serTime(bdp)
+		if k == 1 {
+			c.emitData(t, dir, last)
+		} else {
+			c.d.Sink.Record(trace.Span(t, c.flow, dir, trace.Flags{ACK: true},
+				int(k), bdp, last, serFull))
+		}
+		t = t.Add(time.Duration(k-1) * serFull).Add(c.serTime(last))
+	}
+
+	if dir == trace.Upstream {
+		c.upCwnd = cwnd
+	} else {
+		c.downCwnd = cwnd
+	}
+	return t
+}
+
+// transferEventLoop simulates the transfer one congestion-window round
+// at a time — the reference engine, and the only one consulted on
+// lossy paths: each round draws the network RNG for its loss verdict,
+// so collapsing rounds would change every downstream sample.
+func (c *Conn) transferEventLoop(dir trace.Direction, wireApp int64) time.Time {
+	cwnd := c.upCwnd
+	if dir == trace.Downstream {
+		cwnd = c.downCwnd
+	}
+	bdp := c.bdpBytes()
 
 	t := c.now
 	remaining := wireApp
@@ -279,7 +439,7 @@ func (c *Conn) transfer(dir trace.Direction, n int64) time.Time {
 			if slice > remaining {
 				slice = remaining
 			}
-			ser := time.Duration(float64(slice*8) / float64(c.rateBps) * float64(time.Second))
+			ser := c.serTime(slice)
 			c.emitData(t, dir, slice)
 			t = t.Add(ser)
 			remaining -= slice
@@ -306,8 +466,7 @@ func (c *Conn) transfer(dir trace.Direction, n int64) time.Time {
 			// Wait for the ACK clock before the next round.
 			round := c.rtt
 			if c.rateBps > 0 {
-				ser := time.Duration(float64(burst*8) / float64(c.rateBps) * float64(time.Second))
-				if ser > round {
+				if ser := c.serTime(burst); ser > round {
 					round = ser
 				}
 			}
@@ -316,7 +475,7 @@ func (c *Conn) transfer(dir trace.Direction, n int64) time.Time {
 			// Last burst: the final byte leaves after its own
 			// serialization time.
 			if c.rateBps > 0 {
-				t = t.Add(time.Duration(float64(burst*8) / float64(c.rateBps) * float64(time.Second)))
+				t = t.Add(c.serTime(burst))
 			}
 		}
 		if c.lossEvent(burst) {
@@ -343,19 +502,39 @@ func (c *Conn) transfer(dir trace.Direction, n int64) time.Time {
 }
 
 // lossEvent reports whether a burst of n bytes suffered at least one
-// segment loss, per the network's loss rate.
+// segment loss, per the network's loss rate. The verdict compares one
+// RNG draw against P(no loss) = (1−p)^segs, memoised by keepProb.
 func (c *Conn) lossEvent(n int64) bool {
 	p := c.d.Net.LossRate
 	if p <= 0 {
 		return false
 	}
-	segs := segments(n)
-	// P(at least one loss) = 1 - (1-p)^segs.
-	keep := 1.0
-	for i := 0; i < segs && keep > 1e-9; i++ {
-		keep *= 1 - p
+	return c.d.Net.RNG().Float64() >= c.d.keepProb(p, segments(n))
+}
+
+// keepProb returns the no-loss probability (1−p)^segs exactly as the
+// seed engine computed it: a sequential float64 prefix product with
+// the documented early exit — once the running value drops to 1e-9 a
+// loss is a near-certainty and the product is frozen there. The
+// prefix products are memoised per loss rate, turning the seed's
+// O(segs) multiply loop per burst into an O(1) table lookup that is
+// bit-identical for every (p, segs) because the cached values come
+// from the same sequential multiplication.
+func (d *Dialer) keepProb(p float64, segs int) float64 {
+	if p != d.lossKeepP {
+		d.lossKeepP = p
+		d.lossKeep = append(d.lossKeep[:0], 1.0)
 	}
-	return c.d.Net.RNG().Float64() >= keep
+	// Extend the prefix table: lossKeep[i] is the product after i
+	// factors, frozen at the first value <= 1e-9 (the seed loop's
+	// early exit checked before each multiply).
+	for len(d.lossKeep) <= segs && d.lossKeep[len(d.lossKeep)-1] > 1e-9 {
+		d.lossKeep = append(d.lossKeep, d.lossKeep[len(d.lossKeep)-1]*(1-p))
+	}
+	if segs < len(d.lossKeep) {
+		return d.lossKeep[segs]
+	}
+	return d.lossKeep[len(d.lossKeep)-1]
 }
 
 // emitRetransmit records one retransmitted segment: wire bytes with
@@ -378,19 +557,11 @@ func (c *Conn) record(t time.Time, dir trace.Direction, fl trace.Flags, payload,
 	})
 }
 
-// segments returns how many MSS-sized packets n bytes occupy. Zero
-// bytes travel in zero segments — a zero-byte record must not fake a
-// data segment on the wire.
-func segments(n int64) int {
-	if n <= 0 {
-		return 0
-	}
-	return int((n + MSS - 1) / MSS)
-}
+// segments returns how many MSS-sized packets n bytes occupy. The
+// arithmetic lives in trace (span expansion uses it); this is the
+// transport's local name for it.
+func segments(n int64) int { return trace.Segments(n) }
 
 // ackWire returns the wire bytes of the delayed ACKs elicited by a
 // burst of segs segments.
-func ackWire(segs int) int64 {
-	acks := (segs + ackEveryOther - 1) / ackEveryOther
-	return int64(acks) * HeaderPerSeg
-}
+func ackWire(segs int) int64 { return trace.DelayedAckWire(segs) }

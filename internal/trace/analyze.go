@@ -62,7 +62,9 @@ func (c *Capture) Analyze(f FlowFilter) Analysis {
 		if !set[p.Flow] {
 			continue
 		}
-		a.Packets++
+		// Span records fold in O(1): the aggregate fields are totals
+		// over the slices, and the payload bracket covers [Time, End].
+		a.Packets += p.SliceCount()
 		a.TotalWire += p.Wire + p.AckWire
 		if p.Dir == Upstream {
 			a.WireUp += p.Wire
@@ -81,7 +83,12 @@ func (c *Capture) Analyze(f FlowFilter) Analysis {
 				a.FirstPayload = p.Time
 				a.HasPayload = true
 			}
-			a.LastPayload = p.Time
+			// A span's last payload instant (End) can lie beyond the
+			// start times of records sorted after it, so the bracket
+			// is a max fold rather than last-in-scan-order.
+			if end := p.End(); end.After(a.LastPayload) {
+				a.LastPayload = end
+			}
 		}
 	}
 	a.Connections = len(a.SYNTimes)
@@ -150,14 +157,14 @@ type TimelinePoint struct {
 }
 
 // CumulativeBytes returns the cumulative wire-byte timeline across the
-// selected flows (both directions), one point per packet. Fig. 1 plots
-// this for control traffic while the client is idle.
+// selected flows (both directions), one point per packet (spans
+// expanded, so every transmission round is a step). Fig. 1 plots this
+// for control traffic while the client is idle.
 func (c *Capture) CumulativeBytes(f FlowFilter) []TimelinePoint {
-	c.flush()
 	set := c.flowSet(f)
 	var out []TimelinePoint
 	var total int64
-	for _, p := range c.packets {
+	for _, p := range c.ExpandedPackets() {
 		if !set[p.Flow] {
 			continue
 		}
@@ -178,14 +185,16 @@ type Burst struct {
 }
 
 // Bursts splits the upstream payload traffic of the selected flows
-// into bursts separated by quiet gaps of at least gap.
+// into bursts separated by quiet gaps of at least gap. It walks the
+// span-expanded trace: intra-span slice gaps are real transmission
+// spacing and legitimately merge or split bursts exactly as the
+// per-round records did.
 func (c *Capture) Bursts(f FlowFilter, gap time.Duration) []Burst {
-	c.flush()
 	set := c.flowSet(f)
 	var out []Burst
 	var cur *Burst
 	var lastEnd time.Time
-	for _, p := range c.packets {
+	for _, p := range c.ExpandedPackets() {
 		if !set[p.Flow] || p.Dir != Upstream || !p.HasPayload() {
 			continue
 		}
@@ -222,13 +231,12 @@ type Pause struct {
 // cumulative payload uploaded before each pause. Differencing the
 // BytesBefore values recovers the chunk size.
 func (c *Capture) UploadPauses(f FlowFilter, gap time.Duration) []Pause {
-	c.flush()
 	set := c.flowSet(f)
 	var out []Pause
 	var last time.Time
 	var seen bool
 	var cum int64
-	for _, p := range c.packets {
+	for _, p := range c.ExpandedPackets() {
 		if !set[p.Flow] || p.Dir != Upstream || !p.HasPayload() {
 			continue
 		}
@@ -259,11 +267,11 @@ func (c *Capture) ThroughputTimeline(f FlowFilter, bucket time.Duration) []RateP
 	if bucket <= 0 {
 		panic("trace: non-positive throughput bucket")
 	}
-	c.flush()
 	set := c.flowSet(f)
+	pkts := c.ExpandedPackets()
 	var first, last time.Time
 	seen := false
-	for _, p := range c.packets {
+	for _, p := range pkts {
 		if set[p.Flow] && p.Dir == Upstream && p.HasPayload() {
 			if !seen {
 				first = p.Time
@@ -277,7 +285,7 @@ func (c *Capture) ThroughputTimeline(f FlowFilter, bucket time.Duration) []RateP
 	}
 	n := int(last.Sub(first)/bucket) + 1
 	bytes := make([]int64, n)
-	for _, p := range c.packets {
+	for _, p := range pkts {
 		if set[p.Flow] && p.Dir == Upstream && p.HasPayload() {
 			idx := int(p.Time.Sub(first) / bucket)
 			bytes[idx] += p.Payload
@@ -311,13 +319,19 @@ func (c *Capture) FlowBytes() []int64 {
 var FarFuture = time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC)
 
 // Window returns a filter-independent sub-capture containing only the
-// packets in [from, to), preserving flow metadata. It is used to
+// packet slices in [from, to), preserving flow metadata. It is used to
 // analyze phases (login vs idle) separately.
 //
-// The view is zero-copy: it is located by binary search over the
-// time-sorted trace and aliases the parent's backing store. Packets
-// recorded after the view is taken do not appear in it; the view
-// remains a valid snapshot either way.
+// When no span record straddles a window boundary the view is
+// zero-copy: it is located by binary search over the time-sorted trace
+// and aliases the parent's backing store. Packets recorded after the
+// view is taken do not appear in it; the view remains a valid snapshot
+// either way. Spans that cross a boundary are expanded deterministically
+// at exactly that boundary (Clip), so the sub-capture attributes every
+// slice to the window it fell in, byte- and time-identical to a
+// capture of the individual slice records. (The relative order of
+// equal-instant records from independent connections is not defined —
+// no analyzer depends on it.)
 func (c *Capture) Window(from, to time.Time) *Capture {
 	c.flush()
 	lo := sort.Search(len(c.packets), func(i int) bool {
@@ -326,5 +340,67 @@ func (c *Capture) Window(from, to time.Time) *Capture {
 	hi := lo + sort.Search(len(c.packets)-lo, func(i int) bool {
 		return !c.packets[lo+i].Time.Before(to)
 	})
-	return &Capture{packets: c.packets[lo:hi:hi], flows: c.flows}
+	if c.spans == 0 {
+		// Span-free trace: pure binary-searched zero-copy view.
+		return &Capture{packets: c.packets[lo:hi:hi], flows: c.flows}
+	}
+	// Spans starting before the window can still reach into it; spans
+	// inside can reach past the upper bound. Both need clipping — but
+	// the capture's span-timeline bounds prune each scan when no span
+	// can straddle that side (the usual [t0, FarFuture) benchmark
+	// window skips both).
+	var pre []Packet
+	if c.minSpanStart.Before(from) {
+		for i := 0; i < lo; i++ {
+			if p := &c.packets[i]; p.IsSpan() && !p.End().Before(from) {
+				if cl, ok := p.Clip(from, to); ok {
+					pre = append(pre, cl)
+				}
+			}
+		}
+	}
+	clipHi := false
+	if !c.maxSpanEnd.Before(to) {
+		for i := lo; i < hi; i++ {
+			if p := &c.packets[i]; p.IsSpan() && !p.End().Before(to) {
+				clipHi = true
+				break
+			}
+		}
+	}
+	if len(pre) == 0 && !clipHi {
+		// Views inherit the parent's span accounting as conservative
+		// bounds: only "no span could straddle" conclusions are drawn
+		// from them, and those stay valid for any subset.
+		return &Capture{packets: c.packets[lo:hi:hi], flows: c.flows,
+			spans: c.spans, minSpanStart: c.minSpanStart, maxSpanEnd: c.maxSpanEnd}
+	}
+	out := make([]Packet, 0, len(pre)+(hi-lo))
+	out = append(out, pre...)
+	for i := lo; i < hi; i++ {
+		p := c.packets[i]
+		if p.IsSpan() && !p.End().Before(to) {
+			if cl, ok := p.Clip(from, to); ok {
+				out = append(out, cl)
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Time.Before(out[j].Time)
+	})
+	sub := &Capture{packets: out, flows: c.flows}
+	for i := range out {
+		if p := &out[i]; p.IsSpan() {
+			if sub.spans == 0 || p.Time.Before(sub.minSpanStart) {
+				sub.minSpanStart = p.Time
+			}
+			if end := p.End(); sub.spans == 0 || end.After(sub.maxSpanEnd) {
+				sub.maxSpanEnd = end
+			}
+			sub.spans++
+		}
+	}
+	return sub
 }

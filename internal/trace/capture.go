@@ -41,6 +41,18 @@ type Capture struct {
 	// later in-order packets can keep taking the fast path without a
 	// tie-breaking ambiguity against buffered stragglers.
 	pendingMax time.Time
+
+	// spans counts span records (for Window views, an upper bound
+	// inherited from the parent): when zero, Window and the expansion
+	// helpers skip their span scans entirely, keeping the span-free
+	// trace — every lossy campaign, all control traffic — on the
+	// original zero-copy binary-search fast path. minSpanStart and
+	// maxSpanEnd bound where spans live on the timeline (conservative
+	// for views), so Window also skips its boundary scans when no span
+	// can possibly straddle the requested bound — the benchmark
+	// window's [t0, FarFuture) case, where all spans start inside.
+	spans                    int
+	minSpanStart, maxSpanEnd time.Time
 }
 
 // NewCapture returns an empty capture.
@@ -58,6 +70,15 @@ func (c *Capture) OpenFlow(key FlowKey, serverName string, at time.Time) FlowID 
 // the trace is re-established in time order (stably: equal timestamps
 // keep arrival order) before any analyzer reads it. Recording is O(1).
 func (c *Capture) Record(p Packet) {
+	if p.IsSpan() {
+		if c.spans == 0 || p.Time.Before(c.minSpanStart) {
+			c.minSpanStart = p.Time
+		}
+		if end := p.End(); c.spans == 0 || end.After(c.maxSpanEnd) {
+			c.maxSpanEnd = end
+		}
+		c.spans++
+	}
 	if len(c.pending) == 0 || p.Time.After(c.pendingMax) {
 		// In order with respect to everything recorded so far: no
 		// straggler in the buffer can tie or sort after it, so it can
@@ -121,8 +142,72 @@ func (c *Capture) Flow(id FlowID) FlowInfo { return c.flows[id] }
 // NumFlows returns how many connections the capture saw.
 func (c *Capture) NumFlows() int { return len(c.flows) }
 
-// Len returns the number of trace records.
+// Len returns the number of trace records. Span records count once;
+// ExpandedLen counts the per-round packets they stand for.
 func (c *Capture) Len() int { return len(c.packets) + len(c.pending) }
+
+// ExpandedLen returns the number of per-round packet records the trace
+// stands for: plain records count 1, span records their slice count.
+// This is the record count an equivalent pre-span capture would hold.
+func (c *Capture) ExpandedLen() int {
+	c.flush()
+	if c.spans == 0 {
+		return len(c.packets)
+	}
+	n := 0
+	for i := range c.packets {
+		n += c.packets[i].SliceCount()
+	}
+	return n
+}
+
+// SpanCount returns how many records are spans (aggregates of multiple
+// transmission slices).
+func (c *Capture) SpanCount() int {
+	c.flush()
+	if c.spans == 0 {
+		return 0
+	}
+	n := 0
+	for i := range c.packets {
+		if c.packets[i].IsSpan() {
+			n++
+		}
+	}
+	return n
+}
+
+// ExpandedPackets returns the trace with every span record expanded
+// into its constituent per-round records, in stable time order — the
+// exact packet sequence the transport would have recorded one slice at
+// a time. Span-free traces return the backing store itself (zero
+// copy); callers must not modify the result either way. Per-packet
+// analyzers that walk individual transmission rounds (burst and pause
+// detection, throughput timelines) read the trace through this view.
+func (c *Capture) ExpandedPackets() []Packet {
+	c.flush()
+	if c.spans == 0 {
+		return c.packets
+	}
+	extra := 0
+	for i := range c.packets {
+		extra += c.packets[i].SliceCount() - 1
+	}
+	if extra == 0 {
+		return c.packets
+	}
+	out := make([]Packet, 0, len(c.packets)+extra)
+	for i := range c.packets {
+		out = c.packets[i].appendSlices(out)
+	}
+	// Slices inherit their span's position in the record stream, so a
+	// stable sort by time reproduces exactly the order a capture of
+	// the individual slice records would have established.
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Time.Before(out[j].Time)
+	})
+	return out
+}
 
 // FlowsWithTraffic reports which flows carry at least one packet in
 // this capture, indexed by FlowID. On a Window sub-capture the flow

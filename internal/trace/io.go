@@ -13,11 +13,20 @@ import (
 // sections) so benchmark runs can dump their traces for offline
 // analysis and tooling can reload them — the reproduction's analogue
 // of saving pcaps. The format is versioned and round-trips exactly.
+//
+// v2 extends packet rows with the span slicing parameters
+// (slices, slice_bytes, slice_gap_ns), so span records survive a dump
+// and reload without expansion; plain records write zeros there. v1
+// files (9-field packet rows, all plain) are still read.
 
-const formatVersion = "cloudbench-trace-v1"
+const (
+	formatVersion   = "cloudbench-trace-v2"
+	formatVersionV1 = "cloudbench-trace-v1"
+)
 
-// WriteCSV serializes the capture.
+// WriteCSV serializes the capture, span records included.
 func (c *Capture) WriteCSV(w io.Writer) error {
+	c.flush()
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "#%s\n", formatVersion)
 	fmt.Fprintf(bw, "#flows id,client,cport,server,sport,proto,name,opened_unix_ns\n")
@@ -27,11 +36,12 @@ func (c *Capture) WriteCSV(w io.Writer) error {
 			f.Key.ServerAddr, f.Key.ServerPort, int(f.Key.Proto),
 			f.ServerName, f.OpenedAt.UnixNano())
 	}
-	fmt.Fprintf(bw, "#packets unix_ns,flow,dir,flags,payload,wire,segments,ackwire\n")
+	fmt.Fprintf(bw, "#packets unix_ns,flow,dir,flags,payload,wire,segments,ackwire,slices,slice_bytes,slice_gap_ns\n")
 	for _, p := range c.packets {
-		fmt.Fprintf(bw, "p,%d,%d,%d,%s,%d,%d,%d,%d\n",
+		fmt.Fprintf(bw, "p,%d,%d,%d,%s,%d,%d,%d,%d,%d,%d,%d\n",
 			p.Time.UnixNano(), p.Flow, int(p.Dir), flagString(p.Flags),
-			p.Payload, p.Wire, p.Segments, p.AckWire)
+			p.Payload, p.Wire, p.Segments, p.AckWire,
+			p.Slices, p.SliceBytes, p.SliceGap.Nanoseconds())
 	}
 	return bw.Flush()
 }
@@ -79,7 +89,7 @@ func ReadCSV(r io.Reader) (*Capture, error) {
 			continue
 		}
 		if strings.HasPrefix(text, "#") {
-			if strings.Contains(text, formatVersion) {
+			if strings.Contains(text, formatVersion) || strings.Contains(text, formatVersionV1) {
 				sawVersion = true
 			}
 			continue
@@ -106,8 +116,8 @@ func ReadCSV(r io.Reader) (*Capture, error) {
 				Proto: Proto(proto),
 			}, fields[7], time.Unix(0, opened).UTC())
 		case "p":
-			if len(fields) != 9 {
-				return nil, fmt.Errorf("trace: line %d: packet record needs 9 fields, has %d", line, len(fields))
+			if len(fields) != 9 && len(fields) != 12 {
+				return nil, fmt.Errorf("trace: line %d: packet record needs 9 or 12 fields, has %d", line, len(fields))
 			}
 			ns, err1 := strconv.ParseInt(fields[1], 10, 64)
 			flow, err2 := strconv.Atoi(fields[2])
@@ -122,11 +132,28 @@ func ReadCSV(r io.Reader) (*Capture, error) {
 			if flow < 0 || flow >= len(c.flows) {
 				return nil, fmt.Errorf("trace: line %d: packet references unknown flow %d", line, flow)
 			}
-			c.Record(Packet{
+			p := Packet{
 				Time: time.Unix(0, ns).UTC(), Flow: FlowID(flow),
 				Dir: Direction(dir), Flags: parseFlags(fields[4]),
 				Payload: payload, Wire: wire, Segments: segs, AckWire: ack,
-			})
+			}
+			if len(fields) == 12 {
+				slices, err1 := strconv.Atoi(fields[9])
+				sliceBytes, err2 := strconv.ParseInt(fields[10], 10, 64)
+				gapNs, err3 := strconv.ParseInt(fields[11], 10, 64)
+				if err := firstErr(err1, err2, err3); err != nil {
+					return nil, fmt.Errorf("trace: line %d: %v", line, err)
+				}
+				if slices > 1 {
+					p.Slices, p.SliceBytes, p.SliceGap = slices, sliceBytes, time.Duration(gapNs)
+					if err := validateSpan(p); err != nil {
+						return nil, fmt.Errorf("trace: line %d: %v", line, err)
+					}
+				} else if slices != 0 || sliceBytes != 0 || gapNs != 0 {
+					return nil, fmt.Errorf("trace: line %d: plain record carries span fields", line)
+				}
+			}
+			c.Record(p)
 		default:
 			return nil, fmt.Errorf("trace: line %d: unknown record type %q", line, fields[0])
 		}
@@ -138,6 +165,23 @@ func ReadCSV(r io.Reader) (*Capture, error) {
 		return nil, fmt.Errorf("trace: empty or unversioned input")
 	}
 	return c, nil
+}
+
+// validateSpan checks that a parsed span's aggregate fields are
+// exactly what its slicing parameters imply — the invariant every
+// analyzer's O(1) folds rely on. Corrupt or hand-edited files fail
+// loudly instead of silently mis-attributing bytes.
+func validateSpan(p Packet) error {
+	last := p.Payload - int64(p.Slices-1)*p.SliceBytes
+	if p.SliceBytes <= 0 || last <= 0 || last > p.SliceBytes || p.SliceGap < 0 {
+		return fmt.Errorf("invalid span parameters (slices=%d slice_bytes=%d payload=%d gap=%d)",
+			p.Slices, p.SliceBytes, p.Payload, p.SliceGap)
+	}
+	want := Span(p.Time, p.Flow, p.Dir, p.Flags, p.Slices, p.SliceBytes, last, p.SliceGap)
+	if p != want {
+		return fmt.Errorf("span totals do not match slicing parameters")
+	}
+	return nil
 }
 
 func firstErr(errs ...error) error {

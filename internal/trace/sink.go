@@ -63,9 +63,10 @@ type Streamer struct {
 	flows []FlowInfo
 	wins  []*StreamWindow
 
-	// maxSeen is the latest timestamp recorded so far; AddWindow uses
-	// it to reject registrations that would miss already-discarded
-	// packets.
+	// maxSeen is the latest timestamp recorded so far — for span
+	// records the instant of their last slice, since the whole span is
+	// discarded at record time; AddWindow uses it to reject
+	// registrations that would miss already-discarded packets.
 	maxSeen time.Time
 	seen    bool
 }
@@ -82,9 +83,11 @@ func (s *Streamer) OpenFlow(key FlowKey, serverName string, at time.Time) FlowID
 
 // Record folds a packet into every registered window containing its
 // timestamp and discards it. O(windows) per packet, no retention.
+// Span records fold in O(1) per window: totals when fully contained,
+// a deterministic O(1) clip at window boundaries otherwise.
 func (s *Streamer) Record(p Packet) {
-	if !s.seen || p.Time.After(s.maxSeen) {
-		s.maxSeen = p.Time
+	if end := p.End(); !s.seen || end.After(s.maxSeen) {
+		s.maxSeen = end
 		s.seen = true
 	}
 	for _, w := range s.wins {
@@ -159,43 +162,51 @@ func (w *StreamWindow) From() time.Time { return w.from }
 func (w *StreamWindow) To() time.Time { return w.to }
 
 // record folds one packet, mirroring Capture.Analyze's per-packet body
-// exactly — split per flow so filters can be applied at read time.
+// exactly — split per flow so filters can be applied at read time. A
+// span is first clipped to the window (O(1): index arithmetic over the
+// uniform slicing), so a span straddling a boundary contributes
+// exactly its in-window slices, and a fully contained one folds its
+// precomputed totals without expansion.
 func (w *StreamWindow) record(p Packet) {
-	if p.Time.Before(w.from) || !p.Time.Before(w.to) {
+	cl, ok := p.Clip(w.from, w.to)
+	if !ok {
 		return
 	}
-	for int(p.Flow) >= len(w.perFlow) {
+	for int(cl.Flow) >= len(w.perFlow) {
 		w.perFlow = append(w.perFlow, flowAcc{})
 	}
-	a := &w.perFlow[p.Flow]
-	a.packets++
-	a.totalWire += p.Wire + p.AckWire
-	if p.Dir == Upstream {
-		a.wireUp += p.Wire
-		a.wireDown += p.AckWire
-		a.payloadUp += p.Payload
-		if p.Flags.SYN && !p.Flags.ACK {
-			w.syns = append(w.syns, synEvent{time: p.Time, flow: p.Flow})
+	a := &w.perFlow[cl.Flow]
+	a.packets += cl.SliceCount()
+	a.totalWire += cl.Wire + cl.AckWire
+	if cl.Dir == Upstream {
+		a.wireUp += cl.Wire
+		a.wireDown += cl.AckWire
+		a.payloadUp += cl.Payload
+		if cl.Flags.SYN && !cl.Flags.ACK {
+			w.syns = append(w.syns, synEvent{time: cl.Time, flow: cl.Flow})
 		}
 	} else {
-		a.wireDown += p.Wire
-		a.wireUp += p.AckWire
-		a.payloadDown += p.Payload
+		a.wireDown += cl.Wire
+		a.wireUp += cl.AckWire
+		a.payloadDown += cl.Payload
 	}
-	if p.Payload > 0 {
+	if cl.Payload > 0 {
+		// Every slice of a data span carries payload, so the span's
+		// in-window payload bracket is [cl.Time, cl.End()].
+		first, last := cl.Time, cl.End()
 		if !a.hasPayload {
-			a.firstPayload = p.Time
-			a.lastPayload = p.Time
+			a.firstPayload = first
+			a.lastPayload = last
 			a.hasPayload = true
 		} else {
 			// Records arrive slightly out of order, so the payload
 			// bracket is a min/max fold; over the stably sorted trace
 			// these are exactly the first and last payload instants.
-			if p.Time.Before(a.firstPayload) {
-				a.firstPayload = p.Time
+			if first.Before(a.firstPayload) {
+				a.firstPayload = first
 			}
-			if p.Time.After(a.lastPayload) {
-				a.lastPayload = p.Time
+			if last.After(a.lastPayload) {
+				a.lastPayload = last
 			}
 		}
 	}
