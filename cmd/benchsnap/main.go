@@ -113,6 +113,21 @@ type transportMicro struct {
 	RecordReductionX float64 `json:"record_reduction_x"`
 }
 
+// contentMicro times the content-generation floor on both engines:
+// Fork (per-file child seeding) plus full materialisation through the
+// descriptor pipeline into pooled buffers, for one repetition's worth
+// of files. The legacy engine pays a 607-word lagged-Fibonacci init
+// per Fork and a per-call math/rand byte loop; the PCG engine seeds
+// with two SplitMix64 rounds and fills eight bytes per generator step.
+type contentMicro struct {
+	Workload     string  `json:"workload"`
+	LegacyNs     int64   `json:"legacy_ns"`
+	PCGNs        int64   `json:"pcg_ns"`
+	SpeedupX     float64 `json:"speedup_x"`
+	LegacyBPerOp int64   `json:"legacy_b_per_op"`
+	PCGBPerOp    int64   `json:"pcg_b_per_op"`
+}
+
 type micro struct {
 	GoMaxProcs       int             `json:"go_max_procs"`
 	CampaignWorkload string          `json:"campaign_workload"`
@@ -121,6 +136,7 @@ type micro struct {
 	MeasureWindow    measureMicro    `json:"measure_window"`
 	Memory           memoryMicro     `json:"memory"`
 	Transport        transportMicro  `json:"transport"`
+	Content          []contentMicro  `json:"content"`
 }
 
 // snapshot is a core.Campaign plus the engine micro section; the
@@ -196,6 +212,10 @@ func main() {
 
 	snap.Micro.Memory = memoryMicroBench(*seed)
 	snap.Micro.Transport = transportMicroBench()
+	snap.Micro.Content = []contentMicro{
+		contentMicroBench("100 x 10 kB", 100, 10_000),
+		contentMicroBench("4 x 4 MB", 4, 4<<20),
+	}
 
 	if !*skipFig6 {
 		v, _ := core.VantageByName("twente")
@@ -270,6 +290,40 @@ func memoryMicroBench(seed int64) memoryMicro {
 		BufferedAllocsPerOp:  buffered.AllocsPerOp(),
 		SavedBytesPerOp:      buffered.AllocedBytesPerOp() - stream.AllocedBytesPerOp(),
 	}
+}
+
+// contentMicroBench measures one repetition's content generation —
+// count files of size bytes, each Fork-seeded and materialised through
+// the descriptor pipeline into pooled buffers — on the legacy and PCG
+// engines. This was ~50% of a Cloud Drive campaign repetition before
+// the descriptor pipeline; the micro tracks that the floor stays gone.
+func contentMicroBench(label string, count int, size int64) contentMicro {
+	run := func(newRNG func(int64) *sim.RNG) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rng := newRNG(42)
+				for j := 0; j < count; j++ {
+					d := workload.Describe(rng.Fork(int64(j)), workload.Binary, size)
+					buf := d.AppendTo(workload.GetBuffer(size))
+					workload.PutBuffer(buf)
+				}
+			}
+		})
+	}
+	pcg := run(sim.NewRNG)
+	legacy := run(sim.NewLegacyRNG)
+	m := contentMicro{
+		Workload:     label,
+		LegacyNs:     legacy.NsPerOp(),
+		PCGNs:        pcg.NsPerOp(),
+		LegacyBPerOp: legacy.AllocedBytesPerOp(),
+		PCGBPerOp:    pcg.AllocedBytesPerOp(),
+	}
+	if pcg.NsPerOp() > 0 {
+		m.SpeedupX = float64(legacy.NsPerOp()) / float64(pcg.NsPerOp())
+	}
+	return m
 }
 
 // countingSink counts Sink.Record calls and discards the records: it

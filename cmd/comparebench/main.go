@@ -15,7 +15,10 @@
 // With -fail-on-drift the comparison exits non-zero when any metric
 // ratio leaves the threshold band — the CI trend check
 // (scripts/trendcheck.sh) uses this to fail builds on
-// simulated-metric regressions.
+// simulated-metric regressions. With -expect-drift the gate inverts:
+// the comparison must show drift, which is how the trend check
+// validates a deliberate baseline reset (a committed BASELINE_RESET
+// marker naming the new baseline) without ever allowing a silent one.
 package main
 
 import (
@@ -28,15 +31,16 @@ import (
 
 func main() {
 	var (
-		doRun     = flag.Bool("run", false, "run a campaign")
-		from      = flag.String("from", "twente", "vantage (city or IATA code)")
-		reps      = flag.Int("reps", 8, "repetitions per workload")
-		seed      = flag.Int64("seed", 42, "base seed")
-		out       = flag.String("out", "", "write campaign JSON here")
-		fileA     = flag.String("a", "", "campaign A for comparison")
-		fileB     = flag.String("b", "", "campaign B for comparison")
-		threshold = flag.Float64("threshold", 1.3, "report ratios outside [1/t, t]")
-		failDrift = flag.Bool("fail-on-drift", false, "exit non-zero when the comparison reports any difference")
+		doRun       = flag.Bool("run", false, "run a campaign")
+		from        = flag.String("from", "twente", "vantage (city or IATA code)")
+		reps        = flag.Int("reps", 8, "repetitions per workload")
+		seed        = flag.Int64("seed", 42, "base seed")
+		out         = flag.String("out", "", "write campaign JSON here")
+		fileA       = flag.String("a", "", "campaign A for comparison")
+		fileB       = flag.String("b", "", "campaign B for comparison")
+		threshold   = flag.Float64("threshold", 1.3, "report ratios outside [1/t, t]")
+		failDrift   = flag.Bool("fail-on-drift", false, "exit non-zero when the comparison reports any difference")
+		expectDrift = flag.Bool("expect-drift", false, "invert the gate: exit non-zero when the comparison reports NO difference (validates a sanctioned baseline reset — a stale reset marker must not linger)")
 	)
 	flag.Parse()
 
@@ -71,11 +75,20 @@ func main() {
 		deltas := core.Compare(a, b, *threshold)
 		fmt.Print(core.DeltaReport(deltas))
 		fmt.Printf("(%d comparable cells)\n", cells)
-		if *failDrift && cells == 0 {
+		if *failDrift && *expectDrift {
+			fatalf("-fail-on-drift and -expect-drift are mutually exclusive")
+		}
+		if (*failDrift || *expectDrift) && cells == 0 {
 			fatalf("campaigns share no (service, workload) cells; a drift gate over a disjoint comparison proves nothing")
 		}
 		if *failDrift && len(deltas) > 0 {
 			fatalf("simulated metrics drifted: %d deltas outside threshold %.2f", len(deltas), *threshold)
+		}
+		if *expectDrift && len(deltas) == 0 {
+			fatalf("baseline reset declared but simulated metrics did not drift (threshold %.2f); the reset marker is stale — remove it", *threshold)
+		}
+		if *expectDrift {
+			fmt.Printf("sanctioned baseline reset confirmed: %d deltas outside threshold %.2f\n", len(deltas), *threshold)
 		}
 	default:
 		flag.Usage()

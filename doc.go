@@ -64,13 +64,34 @@
 //     RunIdle's cumulative timeline, AnalyzeProtocols' activity
 //     clustering, the Sect. 4 capability detectors, RunPropagation,
 //     RunRecovery, cmd/tracedump — keep a buffered Capture.
-//   - internal/compressor memoises size-only DEFLATE by content hash
-//     (sizes stay exact; SHA-256 is ~10x cheaper than the level-6
-//     flate it skips), so campaigns that re-plan identical content —
-//     repeated engine timings, the parallel-vs-sequential identity
-//     checks, the Fig. 6 matrix whose per-(workload, repetition)
-//     contents are shared across services — stop paying for
-//     recompression.
+//   - internal/sim runs two randomness engines behind one RNG API.
+//     The default engine is PCG (RXS-M-XS-64) seeded through
+//     SplitMix64: RNG.Fork is O(1) — two mixing rounds build a child's
+//     whole state — and RNG.Fill generates eight bytes per step, so
+//     file materialisation is memory-bandwidth bound. The legacy
+//     math/rand engine (one 607-word lagged-Fibonacci init per Fork,
+//     ~50% of a Cloud Drive campaign repetition before the switch)
+//     survives behind sim.NewLegacyRNG as the reference engine for the
+//     structural-equivalence tests, mirroring Dialer.ForceEventLoop.
+//   - internal/workload generates files as content descriptors: a
+//     folder file is the lazy recipe (Kind, Seed, Size), not bytes.
+//     The planner (internal/client) materialises at the chunk boundary
+//     and only when a capability genuinely needs bytes — CDC chunking,
+//     dedup hashing, delta signatures, encryption, or a compression
+//     cache miss — into pooled buffers released at the end of each
+//     plan. A no-capability client (Cloud Drive) plans entire uploads
+//     from descriptors alone: zero content bytes ever exist. The
+//     benchsnap content micro tracks both engines per repetition.
+//   - internal/compressor memoises size-only DEFLATE twice over:
+//     descriptor-backed chunks key the cache by content identity
+//     (generator, seed, size, chunk window) — no hashing, and on
+//     repeats no generation — while ad-hoc bytes fall back to the
+//     SHA-256 hash cache (still ~10x cheaper than the level-6 flate it
+//     skips). Sizes stay exact either way, so campaigns that re-plan
+//     identical content — repeated engine timings, the
+//     parallel-vs-sequential identity checks, the Fig. 6 matrix whose
+//     per-(workload, repetition) contents are shared across services —
+//     stop paying for recompression.
 //   - core.RunN is the parallel experiment scheduler: a generic
 //     bounded-pool fan-out over arbitrary index spaces. Every
 //     campaign-of-campaigns loop rides on it — RunCampaign over
@@ -95,8 +116,15 @@
 //
 // The golden-equivalence tests in internal/trace, internal/chunker
 // and internal/core pin the engine against the original
-// scan-per-metric implementation, and scripts/bench.sh snapshots its
-// performance (BENCH_<sha>.json, diffable with cmd/comparebench).
+// scan-per-metric implementation. Pinned ("golden") values live in
+// testdata/*.json via internal/goldenfile; a sanctioned refresh — an
+// engine change that legitimately alters simulated behaviour, like
+// the PCG content pipeline — regenerates them all with
+// scripts/regen-golden.sh and declares the new perf baseline in a
+// committed BASELINE_RESET marker, which scripts/trendcheck.sh then
+// verifies corresponds to real drift (silent baseline rewrites fail
+// CI either way). scripts/bench.sh snapshots engine performance
+// (BENCH_<sha>.json, diffable with cmd/comparebench).
 //
 // The benchmarks in bench_test.go regenerate every table and figure:
 //

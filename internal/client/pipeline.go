@@ -6,6 +6,7 @@ import (
 	"repro/internal/cryptobox"
 	"repro/internal/dedup"
 	"repro/internal/deltaenc"
+	"repro/internal/workload"
 )
 
 // TransferUnit is one storage upload the transfer layer must perform:
@@ -45,9 +46,18 @@ func (p FilePlan) UploadBytes() int64 {
 // hashes per path (deduplication) and per-chunk delta signatures
 // (delta encoding). State that no capability of the profile will ever
 // read — chunk hashes without dedup, signatures without delta
-// encoding — is not computed at all; for capability-poor clients
-// (Cloud Drive) that removes all hashing from the upload plan, which
-// is the single hottest part of their benchmark repetitions.
+// encoding — is not computed at all.
+//
+// Files arrive as workload.Content, which may be a lazy descriptor.
+// The planner materialises at the chunk boundary, and only when a
+// capability genuinely needs bytes: content-defined chunking, hashing
+// for dedup, delta signatures, encryption, or a compression-size cache
+// miss. A capability-poor profile (Cloud Drive: no chunking, no
+// compression) plans a whole upload from the descriptor alone — zero
+// content bytes ever exist — which removes what used to be ~50% of its
+// campaign repetitions. Materialisation goes into pooled buffers
+// (workload.GetBuffer) released at the end of each plan; nothing the
+// planner retains (hashes, signatures, sizes) aliases them.
 type planner struct {
 	profile  Profile
 	chunker  chunker.Chunker // nil for NoChunking
@@ -87,11 +97,85 @@ func (pl *planner) split(data []byte) []chunker.Chunk {
 	return []chunker.Chunk{{Offset: 0, Data: data}}
 }
 
+// descChunkKey names one chunk of a descriptor's content for the
+// compressor's size cache: the chunk bytes are a pure function of
+// (generator, seed, size, offset, length), so the cache never needs to
+// hash — or even generate — the content to recognise it.
+func descChunkKey(d workload.Descriptor, off, ln int64) compressor.ContentKey {
+	gen := uint32(d.Kind) + 1
+	if d.Legacy() {
+		gen |= 1 << 16
+	}
+	return compressor.ContentKey{Gen: gen, Seed: d.Seed, Size: d.Size, Off: off, Len: ln}
+}
+
 // PlanFile computes the upload plan for one created or modified file,
 // updating client and server state (the server store learns the new
 // chunks; this models the upload's effect and keeps timing concerns in
 // the transfer layer).
-func (pl *planner) PlanFile(path string, data []byte) FilePlan {
+func (pl *planner) PlanFile(path string, content workload.Content) FilePlan {
+	if plan, ok := pl.planLazy(path, content); ok {
+		return plan
+	}
+	if !content.Lazy() {
+		return pl.planBytes(path, content.Bytes(), workload.Descriptor{}, false)
+	}
+	// A capability needs bytes: materialise once into a pooled buffer
+	// for the duration of this plan.
+	desc, _ := content.Descriptor()
+	buf := content.AppendTo(workload.GetBuffer(content.Size()))
+	plan := pl.planBytes(path, buf, desc, true)
+	workload.PutBuffer(buf)
+	return plan
+}
+
+// planLazy plans a descriptor-backed file without materialising it.
+// It applies when chunk boundaries are computable from the size alone
+// (no content-defined chunking) and no capability hashes, signs or
+// encrypts content. Transmit sizes come from the chunk length (no
+// compression) or the descriptor-keyed size cache; only a cache miss
+// generates bytes, once, into a pooled buffer.
+func (pl *planner) planLazy(path string, content workload.Content) (FilePlan, bool) {
+	prof := pl.profile
+	desc, lazy := content.Descriptor()
+	if !lazy || prof.ChunkMode == VariableChunks ||
+		prof.Dedup || prof.DeltaEncoding || prof.Encryption {
+		return FilePlan{}, false
+	}
+
+	size := content.Size()
+	plan := FilePlan{Path: path, FileBytes: size}
+	var data []byte // materialised at most once, on a cache miss
+	for off := int64(0); off < size; {
+		ln := size - off
+		if prof.ChunkMode == FixedChunks && ln > prof.ChunkSize {
+			ln = prof.ChunkSize
+		}
+		o := off
+		wire := compressor.TransmitSizeKeyed(prof.Compression, descChunkKey(desc, o, ln), ln,
+			func() []byte {
+				if data == nil {
+					data = content.AppendTo(workload.GetBuffer(size))
+				}
+				return data[o : o+ln]
+			})
+		plan.Units = append(plan.Units, TransferUnit{
+			Path:     path,
+			Bytes:    wire,
+			RawBytes: ln,
+			Commit:   prof.ChunkCommit,
+		})
+		off += ln
+	}
+	if data != nil {
+		workload.PutBuffer(data)
+	}
+	return plan, true
+}
+
+// planBytes is the materialised planning path. haveDesc marks data as
+// the content of desc, enabling descriptor-keyed compression sizes.
+func (pl *planner) planBytes(path string, data []byte, desc workload.Descriptor, haveDesc bool) FilePlan {
 	prof := pl.profile
 	plan := FilePlan{Path: path, FileBytes: int64(len(data))}
 
@@ -133,7 +217,7 @@ func (pl *planner) PlanFile(path string, data []byte) FilePlan {
 			continue
 		}
 
-		wire := pl.unitBytes(i, ch, payload, oldSigs)
+		wire := pl.unitBytes(i, ch, payload, oldSigs, desc, haveDesc)
 		if prof.Dedup {
 			pl.store.PutHashed(h, int64(len(payload)))
 		}
@@ -158,8 +242,10 @@ func (pl *planner) PlanFile(path string, data []byte) FilePlan {
 // delta encoding against the previous revision's same-index chunk
 // (Dropbox applies its rsync per chunk, Sect. 4.4) and then the
 // compression policy. Only transmitted sizes matter to the plan, so
-// compression runs in size-only mode and never materialises output.
-func (pl *planner) unitBytes(idx int, ch chunker.Chunk, payload []byte, oldSigs []*deltaenc.Signature) int64 {
+// compression runs in size-only mode and never materialises output;
+// descriptor-backed plaintext chunks resolve through the keyed size
+// cache, skipping even the content hash on repeats.
+func (pl *planner) unitBytes(idx int, ch chunker.Chunk, payload []byte, oldSigs []*deltaenc.Signature, desc workload.Descriptor, haveDesc bool) int64 {
 	prof := pl.profile
 	if prof.DeltaEncoding && idx < len(oldSigs) && oldSigs[idx] != nil {
 		d := deltaenc.Compute(oldSigs[idx], ch.Data)
@@ -173,6 +259,10 @@ func (pl *planner) unitBytes(idx int, ch chunker.Chunk, payload []byte, oldSigs 
 		}
 		pl.litBuf = lits
 		return compressor.TransmitSize(prof.Compression, lits) + (d.WireSize() - d.LiteralBytes())
+	}
+	if haveDesc && !prof.Encryption {
+		return compressor.TransmitSizeKeyed(prof.Compression, descChunkKey(desc, ch.Offset, ch.Len()), ch.Len(),
+			func() []byte { return ch.Data })
 	}
 	return compressor.TransmitSize(prof.Compression, payload)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dedup"
+	"repro/internal/workload"
 )
 
 // benchFiles builds the 100x10 kB planning workload.
@@ -30,7 +31,7 @@ func BenchmarkPlanFile(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				pl := newPlanner(p, dedup.NewStore())
 				for j, data := range files {
-					pl.PlanFile(fmt.Sprintf("f%03d", j), data)
+					pl.PlanFile(fmt.Sprintf("f%03d", j), workload.BytesContent(data))
 				}
 			}
 		})
@@ -49,7 +50,7 @@ func BenchmarkPlanFileRevision(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pl := newPlanner(p, dedup.NewStore())
-		pl.PlanFile("doc", data)
-		pl.PlanFile("doc", rev)
+		pl.PlanFile("doc", workload.BytesContent(data))
+		pl.PlanFile("doc", workload.BytesContent(rev))
 	}
 }

@@ -18,7 +18,7 @@ func TestPlanFileNoCapabilities(t *testing.T) {
 	p := CloudDrive() // no chunking, no compression, no dedup
 	pl := newTestPlanner(p)
 	data := workload.Generate(sim.NewRNG(1), workload.Binary, 100_000)
-	plan := pl.PlanFile("a.bin", data)
+	plan := planRaw(pl, "a.bin", data)
 	if len(plan.Units) != 1 {
 		t.Fatalf("units = %d, want 1 (no chunking)", len(plan.Units))
 	}
@@ -37,7 +37,7 @@ func TestPlanFileChunksLargeFiles(t *testing.T) {
 	p := Dropbox()
 	pl := newTestPlanner(p)
 	data := workload.Generate(sim.NewRNG(2), workload.Binary, 9<<20) // 9 MB -> 3 chunks of 4/4/1
-	plan := pl.PlanFile("big.bin", data)
+	plan := planRaw(pl, "big.bin", data)
 	if len(plan.Units) != 3 {
 		t.Fatalf("units = %d, want 3 chunks", len(plan.Units))
 	}
@@ -59,7 +59,7 @@ func TestPlanFileCompressionShrinksText(t *testing.T) {
 	p := Dropbox()
 	pl := newTestPlanner(p)
 	data := workload.Generate(sim.NewRNG(3), workload.Text, 500_000)
-	plan := pl.PlanFile("t.txt", data)
+	plan := planRaw(pl, "t.txt", data)
 	if got := plan.UploadBytes(); got > 250_000 {
 		t.Fatalf("compressed text upload = %d, want < half", got)
 	}
@@ -69,8 +69,8 @@ func TestPlanFileDedupSecondCopy(t *testing.T) {
 	p := Dropbox()
 	pl := newTestPlanner(p)
 	data := workload.Generate(sim.NewRNG(4), workload.Binary, 300_000)
-	first := pl.PlanFile("one.bin", data)
-	second := pl.PlanFile("two.bin", append([]byte{}, data...))
+	first := planRaw(pl, "one.bin", data)
+	second := planRaw(pl, "two.bin", append([]byte{}, data...))
 	if first.UploadBytes() == 0 {
 		t.Fatal("first upload empty")
 	}
@@ -85,9 +85,9 @@ func TestPlanFileDedupAfterForget(t *testing.T) {
 	p := Wuala()
 	pl := newTestPlanner(p)
 	data := workload.Generate(sim.NewRNG(5), workload.Binary, 200_000)
-	pl.PlanFile("w.bin", data)
+	planRaw(pl, "w.bin", data)
 	pl.ForgetFile("w.bin")
-	again := pl.PlanFile("w.bin", data)
+	again := planRaw(pl, "w.bin", data)
 	if len(again.Units) != 0 {
 		t.Fatalf("restore re-uploads %d units", len(again.Units))
 	}
@@ -100,8 +100,8 @@ func TestPlanFileEncryptionStillDedups(t *testing.T) {
 	p := Wuala()
 	pl := newTestPlanner(p)
 	data := workload.Generate(sim.NewRNG(6), workload.Binary, 150_000)
-	pl.PlanFile("a.bin", data)
-	rep := pl.PlanFile("b.bin", append([]byte{}, data...))
+	planRaw(pl, "a.bin", data)
+	rep := planRaw(pl, "b.bin", append([]byte{}, data...))
 	if len(rep.Units) != 0 {
 		t.Fatal("encrypted replica not deduplicated")
 	}
@@ -116,9 +116,9 @@ func TestPlanFileDeltaOnModification(t *testing.T) {
 	pl := newTestPlanner(p)
 	rng := sim.NewRNG(7)
 	base := workload.Generate(rng, workload.Binary, 1<<20)
-	pl.PlanFile("d.bin", base)
+	planRaw(pl, "d.bin", base)
 	modified := append(append([]byte{}, base...), workload.Generate(rng, workload.Binary, 50_000)...)
-	plan := pl.PlanFile("d.bin", modified)
+	plan := planRaw(pl, "d.bin", modified)
 	up := plan.UploadBytes()
 	if up < 45_000 || up > 120_000 {
 		t.Fatalf("delta upload = %d, want ~50 kB", up)
@@ -129,7 +129,7 @@ func TestPlanFileNoDeltaWithoutPriorRevision(t *testing.T) {
 	p := Dropbox()
 	pl := newTestPlanner(p)
 	data := workload.Generate(sim.NewRNG(8), workload.Binary, 500_000)
-	plan := pl.PlanFile("new.bin", data)
+	plan := planRaw(pl, "new.bin", data)
 	if plan.UploadBytes() < 500_000 {
 		t.Fatalf("first revision must travel whole: %d", plan.UploadBytes())
 	}
@@ -138,7 +138,7 @@ func TestPlanFileNoDeltaWithoutPriorRevision(t *testing.T) {
 func TestPlanFileEmpty(t *testing.T) {
 	for _, p := range []Profile{Dropbox(), CloudDrive(), Wuala()} {
 		pl := newTestPlanner(p)
-		plan := pl.PlanFile("empty.bin", nil)
+		plan := planRaw(pl, "empty.bin", nil)
 		if len(plan.Units) != 0 || plan.FileBytes != 0 {
 			t.Fatalf("%s: empty file plan: %+v", p.Name, plan)
 		}
@@ -152,9 +152,9 @@ func TestPlanFileDeltaSurvivesCompression(t *testing.T) {
 	pl := newTestPlanner(p)
 	rng := sim.NewRNG(9)
 	base := workload.Generate(rng, workload.Text, 1<<20)
-	pl.PlanFile("t.txt", base)
+	planRaw(pl, "t.txt", base)
 	add := workload.Generate(rng, workload.Text, 100_000)
-	plan := pl.PlanFile("t.txt", append(append([]byte{}, base...), add...))
+	plan := planRaw(pl, "t.txt", append(append([]byte{}, base...), add...))
 	if got := plan.UploadBytes(); got > 60_000 {
 		t.Fatalf("compressed delta = %d, want well under 100 kB", got)
 	}
@@ -176,13 +176,18 @@ func TestUnitBytesDeltaVsFull(t *testing.T) {
 	pl := newTestPlanner(p)
 	rng := sim.NewRNG(10)
 	base := workload.Generate(rng, workload.Binary, 256<<10)
-	pl.PlanFile("x.bin", base)
+	planRaw(pl, "x.bin", base)
 	// Identical re-write: delta should be nearly free.
-	plan := pl.PlanFile("x.bin", append([]byte{}, base...))
+	plan := planRaw(pl, "x.bin", append([]byte{}, base...))
 	if len(plan.Units) != 0 && plan.UploadBytes() > 10_000 {
 		t.Fatalf("identical rewrite uploaded %d", plan.UploadBytes())
 	}
 	if !bytes.Equal(base, base) {
 		t.Fatal("unreachable")
 	}
+}
+
+// planRaw plans eager bytes — the pre-descriptor test entry point.
+func planRaw(pl *planner, path string, data []byte) FilePlan {
+	return pl.PlanFile(path, workload.BytesContent(data))
 }

@@ -56,7 +56,7 @@ func (c *Client) RecoveryUpload(folder *workload.Folder, since time.Time, every 
 		if !ok {
 			continue
 		}
-		plan := c.plan.PlanFile(ch.Path, f.Data)
+		plan := c.plan.PlanFile(ch.Path, f.Content())
 		for _, u := range plan.Units {
 			res.CleanBytes += u.Bytes
 		}

@@ -92,7 +92,7 @@ func (c *Client) SyncChanges(folder *workload.Folder, since time.Time) SyncResul
 			if !ok {
 				continue // deleted after the journal snapshot
 			}
-			res.Plans = append(res.Plans, c.plan.PlanFile(path, f.Data))
+			res.Plans = append(res.Plans, c.plan.PlanFile(path, f.Content()))
 		}
 	}
 

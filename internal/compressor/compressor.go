@@ -185,6 +185,77 @@ func deflatedSize(data []byte) int64 {
 	return n
 }
 
+// ContentKey identifies a deterministic payload without hashing it:
+// generated benchmark content is a pure function of its descriptor
+// (generator id, seed, size) and the chunk window cut from it. Keying
+// the size cache on this identity skips not only the DEFLATE but the
+// SHA-256 over megabytes of content — and, for lazily planned files,
+// the content generation itself.
+type ContentKey struct {
+	Gen  uint32 // generator id: content kind + engine
+	Seed int64  // descriptor stream seed
+	Size int64  // whole-content length
+	Off  int64  // chunk offset within the content
+	Len  int64  // chunk length
+}
+
+// keyedSizeCache memoises transmit sizes by (policy, ContentKey). It
+// is bounded like the hash cache and resets wholesale when full.
+var keyedSizeCache struct {
+	sync.RWMutex
+	m map[keyedSizeKey]int64
+}
+
+type keyedSizeKey struct {
+	policy Policy
+	key    ContentKey
+}
+
+// TransmitSizeKeyed returns the transmitted byte count Apply would
+// produce for a payload identified by key, materialising the payload
+// via data() only on a cache miss. rawLen is the payload length (known
+// without materialising); policies that never compress return it
+// directly. Sizes are exact: the cache can only skip recomputing, and
+// the Smart policy's sniff verdict is part of the cached result.
+func TransmitSizeKeyed(p Policy, key ContentKey, rawLen int64, data func() []byte) int64 {
+	if p == None {
+		return rawLen
+	}
+	k := keyedSizeKey{policy: p, key: key}
+	keyedSizeCache.RLock()
+	n, ok := keyedSizeCache.m[k]
+	keyedSizeCache.RUnlock()
+	if ok {
+		return n
+	}
+	n = transmitSizeUncached(p, data())
+	keyedSizeCache.Lock()
+	if keyedSizeCache.m == nil || len(keyedSizeCache.m) >= sizeCacheMaxEntries {
+		keyedSizeCache.m = make(map[keyedSizeKey]int64, 256)
+	}
+	keyedSizeCache.m[k] = n
+	keyedSizeCache.Unlock()
+	return n
+}
+
+// transmitSizeUncached is TransmitSize minus the hash cache: the keyed
+// cache already provides identity, so hashing the content on a miss
+// would be pure overhead.
+func transmitSizeUncached(p Policy, data []byte) int64 {
+	switch p {
+	case None:
+		return int64(len(data))
+	case Smart:
+		if LooksCompressed(data) {
+			return int64(len(data))
+		}
+	case Always:
+	default:
+		panic(fmt.Sprintf("compressor: unknown policy %d", int(p)))
+	}
+	return countDeflate(data)
+}
+
 // countDeflate runs the real level-6 DEFLATE into a counting sink.
 func countDeflate(data []byte) int64 {
 	var n countWriter

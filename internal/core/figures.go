@@ -57,8 +57,7 @@ func Fig4DeltaSeries(p client.Profile, mod ModKind, sizes []int64, added int64, 
 		start := tb.Settle()
 
 		t0 := tb.Clock.Now()
-		base := workload.Generate(tb.RNG.Fork(1), workload.Binary, size)
-		tb.Folder.Create(t0, "target.bin", base)
+		tb.Folder.CreateLazy(t0, "target.bin", workload.Describe(tb.RNG.Fork(1), workload.Binary, size))
 		res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
 		tb.Clock.AdvanceTo(res.Done.Add(10 * time.Second))
 
@@ -92,8 +91,8 @@ func Fig5CompressionSeries(p client.Profile, kind workload.Kind, sizes []int64, 
 		start := tb.Settle()
 		t0 := tb.Clock.Now()
 		tb.StartWindow(t0)
-		tb.Folder.Create(t0, "payload"+kind.Ext(),
-			workload.Generate(tb.RNG.Fork(7), kind, size))
+		tb.Folder.CreateLazy(t0, "payload"+kind.Ext(),
+			workload.Describe(tb.RNG.Fork(7), kind, size))
 		res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
 		tb.Clock.AdvanceTo(res.Done)
 		up := tb.AnalyzeWindow(t0, tb.StorageFilter(t0)).WireUp

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/client"
+	"repro/internal/goldenfile"
 	"repro/internal/workload"
 )
 
@@ -17,67 +18,63 @@ var goldenBatches = []workload.Batch{
 	{Count: 1, Size: 1 << 20, Kind: workload.Text},
 }
 
-// goldenMetrics pins RunSync output for every profile at fixed seeds,
-// captured from the pre-rewrite sequential engine (per-metric trace
-// scans, copying Window, per-call flate writers, unconditional chunk
-// hashing). The rewritten engine must reproduce these bit for bit:
-// any drift means an "optimization" changed simulated behaviour.
-var goldenMetrics = []struct {
-	service string
-	batch   int
-	want    Metrics
-}{
-	{"dropbox", 0, Metrics{Startup: 3618556849, Completion: 7377955463, TotalTraffic: 1157134, StorageUp: 1093251, Overhead: 1.157134, Connections: 1, GoodputBps: 1.084311235018904e+06}},
-	{"dropbox", 1, Metrics{Startup: 1524505092, Completion: 835085556, TotalTraffic: 290567, StorageUp: 251976, Overhead: 0.27710628509521484, Connections: 1, GoodputBps: 1.0045207870892692e+07}},
-	{"skydrive", 0, Metrics{Startup: 22544335887, Completion: 41010209563, TotalTraffic: 1490229, StorageUp: 1141554, Overhead: 1.490229, Connections: 1, GoodputBps: 195073.3752703794}},
-	{"skydrive", 1, Metrics{Startup: 8717610428, Completion: 3407952466, TotalTraffic: 1160804, StorageUp: 1120481, Overhead: 1.1070289611816406, Connections: 1, GoodputBps: 2.461480341551219e+06}},
-	{"wuala", 0, Metrics{Startup: 8655465074, Completion: 14109125534, TotalTraffic: 1446523, StorageUp: 1119540, Overhead: 1.446523, Connections: 1, GoodputBps: 567008.9177902413}},
-	{"wuala", 1, Metrics{Startup: 4041127880, Completion: 278554968, TotalTraffic: 1132712, StorageUp: 1097694, Overhead: 1.0802383422851562, Connections: 1, GoodputBps: 3.011473125117625e+07}},
-	{"googledrive", 0, Metrics{Startup: 3514790226, Completion: 44344617729, TotalTraffic: 2363566, StorageUp: 1592656, Overhead: 2.363566, Connections: 100, GoodputBps: 180405.2083364392}},
-	{"googledrive", 1, Metrics{Startup: 2788464023, Completion: 215088465, TotalTraffic: 274957, StorageUp: 252472, Overhead: 0.2622194290161133, Connections: 1, GoodputBps: 3.900073395381756e+07}},
-	{"clouddrive", 0, Metrics{Startup: 5599206005, Completion: 63112842335, TotalTraffic: 4169526, StorageUp: 1242600, Overhead: 4.169526, Connections: 400, GoodputBps: 126757.08626045355}},
-	{"clouddrive", 1, Metrics{Startup: 3622693704, Completion: 682413499, TotalTraffic: 1179773, StorageUp: 1119953, Overhead: 1.1251192092895508, Connections: 4, GoodputBps: 1.2292558708601981e+07}},
+// goldenServices orders the profiles of the golden matrix.
+var goldenServices = []string{"dropbox", "skydrive", "wuala", "googledrive", "clouddrive"}
+
+// goldenCell names one pinned RunSync cell.
+type goldenCell struct {
+	Service string
+	Batch   string
+	Metrics Metrics
 }
 
-// TestGoldenMetricsAllProfiles proves the rewritten measurement engine
-// (single-pass Analyze, zero-copy Window, reorder-buffer Record,
-// capability-gated planner, size-only compression, fast-path CDC
-// split) produces byte-identical Metrics to the seed implementation
-// for fixed seeds across all profiles.
+// TestGoldenMetricsAllProfiles pins RunSync output for every profile
+// at fixed seeds against testdata/golden_metrics.json. The values were
+// regenerated for the descriptor pipeline (PCG RNG: every simulated
+// byte legitimately changed); within an engine generation they must
+// reproduce bit for bit — any unsanctioned drift means an
+// "optimization" changed simulated behaviour. Sanctioned refreshes run
+// scripts/regen-golden.sh.
 func TestGoldenMetricsAllProfiles(t *testing.T) {
-	for _, g := range goldenMetrics {
-		p, ok := client.ProfileFor(g.service)
+	var got []goldenCell
+	for _, svc := range goldenServices {
+		p, ok := client.ProfileFor(svc)
 		if !ok {
-			t.Fatalf("unknown service %q", g.service)
+			t.Fatalf("unknown service %q", svc)
 		}
-		got := RunSync(p, goldenBatches[g.batch], 42+int64(g.batch), DefaultJitter)
-		if got != g.want {
-			t.Errorf("%s/batch%d: metrics drifted from seed engine\n got %+v\nwant %+v",
-				g.service, g.batch, got, g.want)
+		for bi, batch := range goldenBatches {
+			got = append(got, goldenCell{
+				Service: svc,
+				Batch:   batch.String() + "/" + batch.Kind.String(),
+				Metrics: RunSync(p, batch, 42+int64(bi), DefaultJitter),
+			})
 		}
 	}
+	goldenfile.Check(t, "testdata/golden_metrics.json", got)
+}
+
+// goldenUploads pins the delta-encoding and compression upload paths.
+type goldenUploads struct {
+	Fig4DropboxAppend int64
+	Fig4DropboxRandom int64
+	Fig5Text          map[string]int64
 }
 
 // TestGoldenUploadVolumes pins the delta-encoding and compression
-// paths (planner unitBytes: literal-buffer reuse, pooled size-only
-// DEFLATE) against seed-captured upload volumes.
+// paths (planner unitBytes: literal-buffer reuse, descriptor-keyed
+// size-only DEFLATE) against testdata/golden_uploads.json.
 func TestGoldenUploadVolumes(t *testing.T) {
 	dropbox := client.Dropbox()
-	if got := Fig4DeltaSeries(dropbox, ModAppend, []int64{1 << 20}, 100<<10, 7)[0].Upload; got != 114021 {
-		t.Errorf("fig4 dropbox append upload = %d, want 114021", got)
+	got := goldenUploads{
+		Fig4DropboxAppend: Fig4DeltaSeries(dropbox, ModAppend, []int64{1 << 20}, 100<<10, 7)[0].Upload,
+		Fig4DropboxRandom: Fig4DeltaSeries(dropbox, ModRandom, []int64{10 << 20}, 100<<10, 7)[0].Upload,
+		Fig5Text:          map[string]int64{},
 	}
-	if got := Fig4DeltaSeries(dropbox, ModRandom, []int64{10 << 20}, 100<<10, 7)[0].Upload; got != 247088 {
-		t.Errorf("fig4 dropbox random upload = %d, want 247088", got)
+	for _, svc := range []string{"dropbox", "googledrive", "wuala"} {
+		p, _ := client.ProfileFor(svc)
+		got.Fig5Text[svc] = Fig5CompressionSeries(p, workload.Text, []int64{1 << 20}, 11)[0].Upload
 	}
-	for _, tc := range []struct {
-		service string
-		want    int64
-	}{{"dropbox", 252076}, {"googledrive", 252637}, {"wuala", 1097034}} {
-		p, _ := client.ProfileFor(tc.service)
-		if got := Fig5CompressionSeries(p, workload.Text, []int64{1 << 20}, 11)[0].Upload; got != tc.want {
-			t.Errorf("fig5 %s text upload = %d, want %d", tc.service, got, tc.want)
-		}
-	}
+	goldenfile.Check(t, "testdata/golden_uploads.json", got)
 }
 
 // TestCampaignParallelEquivalence proves the worker-pool campaign

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/goldenfile"
 	"repro/internal/tcpsim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -55,27 +56,23 @@ func countRetransmits(cap *trace.Capture) int {
 // retransmit count and every Sect. 5 metric, captured from the current
 // event-loop engine at a fixed seed, on the SkyDrive profile (slowest
 // per-connection rate, so the 2 MB workload spends many rounds in the
-// rate-limited regime where loss verdicts are drawn).
+// rate-limited regime where loss verdicts are drawn). Values live in
+// testdata/golden_lossy.json and were regenerated for the descriptor
+// pipeline (the PCG engine changes loss draws and file bytes alike);
+// sanctioned refreshes run scripts/regen-golden.sh.
 func TestGoldenLossyCampaign(t *testing.T) {
 	batch := workload.Batch{Count: 2, Size: 1 << 20, Kind: workload.Binary}
 	p := client.SkyDrive()
 
 	m, cap := lossyRun(p, batch, 99, 0.02, false)
 
-	want := Metrics{
-		Startup:      goldenLossy.Startup,
-		Completion:   goldenLossy.Completion,
-		TotalTraffic: goldenLossy.TotalTraffic,
-		StorageUp:    goldenLossy.StorageUp,
-		Overhead:     goldenLossy.Overhead,
-		Connections:  goldenLossy.Connections,
-		GoodputBps:   goldenLossy.GoodputBps,
-	}
-	if m != want {
-		t.Errorf("lossy metrics drifted from golden run\n got %+v\nwant %+v", m, want)
-	}
-	if got := countRetransmits(cap); got != goldenLossyRetransmits {
-		t.Errorf("retransmit records = %d, want %d", got, goldenLossyRetransmits)
+	got := struct {
+		Metrics     Metrics
+		Retransmits int
+	}{m, countRetransmits(cap)}
+	goldenfile.Check(t, "testdata/golden_lossy.json", got)
+	if got.Retransmits == 0 {
+		t.Error("lossy run produced no retransmissions; the cell no longer exercises the event loop")
 	}
 	if cap.SpanCount() != 0 {
 		t.Errorf("lossy trace contains %d span records; the event loop must emit per-round records", cap.SpanCount())
@@ -107,17 +104,3 @@ func TestLossyStreamingMatchesBuffered(t *testing.T) {
 		}
 	}
 }
-
-// Golden values captured from the event-loop engine at seed 99,
-// SkyDrive, 2 x 1 MB, 2% segment loss (see TestGoldenLossyCampaign).
-var goldenLossy = Metrics{
-	Startup:      10263442211,
-	Completion:   11927387326,
-	TotalTraffic: 2346419,
-	StorageUp:    2274917,
-	Overhead:     1.1188597679138184,
-	Connections:  1,
-	GoodputBps:   1.4066128265515505e+06,
-}
-
-const goldenLossyRetransmits = 24

@@ -75,7 +75,16 @@ func NewTestbed(p client.Profile, seed int64, jitter float64) *Testbed {
 // bit-identical to a buffered testbed of the same seed; only the
 // trace-memory profile changes.
 func NewStreamingTestbed(p client.Profile, seed int64, jitter float64) *Testbed {
-	return assembleTestbed(p, cloud.SpecFor(p.Service), campusHost(), seed, jitter, true)
+	return assembleTestbed(p, cloud.SpecFor(p.Service), campusHost(), sim.NewRNG(seed), jitter, true)
+}
+
+// NewLegacyStreamingTestbed builds a streaming testbed whose entire
+// randomness tree — file contents, jitter, DNS shuffles, loss draws —
+// runs on the legacy math/rand engine (sim.NewLegacyRNG). It is the
+// reference configuration for the PCG structural-equivalence tests,
+// the way tcpsim keeps its event loop behind Dialer.ForceEventLoop.
+func NewLegacyStreamingTestbed(p client.Profile, seed int64, jitter float64) *Testbed {
+	return assembleTestbed(p, cloud.SpecFor(p.Service), campusHost(), sim.NewLegacyRNG(seed), jitter, true)
 }
 
 // NewTestbedFor builds a buffered testbed for an arbitrary
@@ -83,7 +92,7 @@ func NewStreamingTestbed(p client.Profile, seed int64, jitter float64) *Testbed 
 // services beyond the five in the paper ("to extend the number of
 // tested services").
 func NewTestbedFor(p client.Profile, spec cloud.Spec, seed int64, jitter float64) *Testbed {
-	return assembleTestbed(p, spec, campusHost(), seed, jitter, false)
+	return assembleTestbed(p, spec, campusHost(), sim.NewRNG(seed), jitter, false)
 }
 
 // campusHost is the paper's test computer: the University of Twente
@@ -99,10 +108,12 @@ func campusHost() *netem.Host {
 }
 
 // assembleTestbed is the single assembly path behind every testbed
-// constructor; host describes the (not yet added) test computer, and
-// streaming selects the trace mode.
-func assembleTestbed(p client.Profile, spec cloud.Spec, host *netem.Host, seed int64, jitter float64, streaming bool) *Testbed {
-	rng := sim.NewRNG(seed)
+// constructor; host describes the (not yet added) test computer, rng
+// is the top of the repetition's randomness tree (PCG by default,
+// legacy for the reference engine), and streaming selects the trace
+// mode.
+func assembleTestbed(p client.Profile, spec cloud.Spec, host *netem.Host, rng *sim.RNG, jitter float64, streaming bool) *Testbed {
+	seed := rng.Seed()
 	clock := sim.NewClock()
 	n := netem.New(clock, rng.Fork(1))
 	n.JitterFraction = jitter

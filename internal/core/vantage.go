@@ -9,6 +9,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/geo"
 	"repro/internal/netem"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -44,7 +45,7 @@ func VantageByName(name string) (Vantage, bool) {
 // NewTestbedAt builds a buffered testbed with the test computer at an
 // arbitrary vantage.
 func NewTestbedAt(p client.Profile, spec cloud.Spec, v Vantage, seed int64, jitter float64) *Testbed {
-	return assembleTestbed(p, spec, vantageHost(v), seed, jitter, false)
+	return assembleTestbed(p, spec, vantageHost(v), sim.NewRNG(seed), jitter, false)
 }
 
 // vantageHost is a test computer placed at an arbitrary vantage.
@@ -60,7 +61,7 @@ func vantageHost(v Vantage) *netem.Host {
 // streams the trace, so location-study cells share the O(flows)
 // memory profile of the campaign engine.
 func RunSyncFrom(p client.Profile, batch workload.Batch, v Vantage, seed int64, jitter float64) Metrics {
-	tb := assembleTestbed(p, cloud.SpecFor(p.Service), vantageHost(v), seed, jitter, true)
+	tb := assembleTestbed(p, cloud.SpecFor(p.Service), vantageHost(v), sim.NewRNG(seed), jitter, true)
 	start := tb.Settle()
 	t0 := tb.Clock.Now()
 	tb.StartWindow(t0)

@@ -1,0 +1,102 @@
+// Package goldenfile centralises pinned-value ("golden") test data.
+//
+// Golden values pin the simulation's exact behaviour — every metric is
+// deterministic given a seed, so any drift means an engine change
+// altered simulated behaviour. Before this package they lived as Go
+// literals inside the tests, which made a sanctioned refresh (a
+// deliberate change to every simulated byte, like the PCG content
+// pipeline) a hand-editing exercise. Now they live in testdata/*.json
+// and every golden test goes through Check:
+//
+//	goldenfile.Check(t, "testdata/golden_metrics.json", got)
+//
+// A normal run compares got against the committed file and fails on
+// any difference. A sanctioned refresh regenerates every golden file
+// in one command:
+//
+//	go test ./internal/core ./internal/client -update
+//
+// (scripts/regen-golden.sh runs it for every package that owns golden
+// files). The -update flag is registered once here, shared by every
+// test binary that links this package.
+package goldenfile
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with values from the current engine")
+
+// Updating reports whether this test run regenerates golden files.
+func Updating() bool { return *update }
+
+// Check compares got against the golden file at path (relative to the
+// test's package directory). With -update it rewrites the file
+// instead. Values are compared through their canonical JSON encoding:
+// ints, strings and shortest-form floats round-trip exactly, so byte
+// equality is value equality.
+func Check(t *testing.T, path string, got any) {
+	t.Helper()
+	data := canonical(t, marshal(t, got))
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("goldenfile: %v", err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("goldenfile: %v", err)
+		}
+		t.Logf("goldenfile: rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("goldenfile: %v (run scripts/regen-golden.sh for a sanctioned refresh)", err)
+	}
+	if !bytes.Equal(canonical(t, want), data) {
+		t.Errorf("golden drift against %s\n got: %s\nwant: %s\n(an engine change altered simulated behaviour; if sanctioned, refresh with scripts/regen-golden.sh)",
+			path, data, bytes.TrimSpace(want))
+	}
+}
+
+// Load unmarshals the golden file at path into out, for tests that
+// need pinned values as inputs rather than expectations. It fails the
+// test (rather than loading) during -update runs if the file is
+// missing — the owning Check call must run first in that case.
+func Load(t *testing.T, path string, out any) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("goldenfile: %v", err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("goldenfile: %s: %v", path, err)
+	}
+}
+
+// marshal renders v in the canonical golden encoding.
+func marshal(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("goldenfile: marshal: %v", err)
+	}
+	return data
+}
+
+// canonical re-encodes JSON through an untyped value (maps sort their
+// keys) so both sides of a comparison share one canonical form and
+// neither struct field order nor hand-formatting can mask — or fake —
+// a value change.
+func canonical(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("goldenfile: corrupt golden data: %v", err)
+	}
+	return marshal(t, v)
+}

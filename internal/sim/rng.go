@@ -1,37 +1,77 @@
 package sim
 
-import "math/rand"
+import (
+	"encoding/binary"
+	"math/rand"
+)
 
-// RNG is a deterministic random source for the simulation. It wraps
-// math/rand with a fixed seed so that a given experiment configuration
-// reproduces identical file contents, jitter and DNS shuffles.
+// RNG is a deterministic random source for the simulation. A given
+// experiment configuration reproduces identical file contents, jitter
+// and DNS shuffles.
 //
 // Repetitions of an experiment derive child RNGs via Fork, which mixes
 // the repetition index into the seed stream: each repetition sees
 // different randomness, but the whole campaign is still a pure function
 // of the top-level seed.
+//
+// Two engines exist behind the one API. The default engine (NewRNG) is
+// a PCG generator seeded through SplitMix64: Fork is O(1) — two
+// SplitMix64 rounds build the whole child state — and Bytes/Fill are a
+// tight word-copy loop. The legacy engine (NewLegacyRNG) wraps
+// math/rand's lagged-Fibonacci source exactly as every release before
+// the descriptor pipeline did; it survives as the reference engine for
+// structural-equivalence tests, the way tcpsim keeps its event loop
+// behind Dialer.ForceEventLoop. Children inherit their parent's
+// engine, so a campaign never silently mixes byte streams.
 type RNG struct {
 	*rand.Rand
 	seed int64
+	pcg  *pcg // nil for the legacy math/rand engine
 }
 
-// NewRNG returns a deterministic source for the given seed.
+// NewRNG returns a deterministic source for the given seed, using the
+// fast PCG engine.
 func NewRNG(seed int64) *RNG {
+	p := newPCG(seed)
+	return &RNG{Rand: rand.New(p), seed: seed, pcg: p}
+}
+
+// NewLegacyRNG returns a deterministic source for the given seed using
+// the pre-descriptor math/rand engine (one 607-word lagged-Fibonacci
+// initialisation per source). It exists as the reference engine for
+// equivalence tests and costs ~50x more per Fork than the PCG engine.
+func NewLegacyRNG(seed int64) *RNG {
 	return &RNG{Rand: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Seed returns the seed this source was created with.
 func (r *RNG) Seed() int64 { return r.seed }
 
-// Fork derives an independent child source. The derivation is a simple
-// SplitMix-style hash of (parent seed, label) so children do not overlap
-// with the parent stream.
-func (r *RNG) Fork(label int64) *RNG {
+// Legacy reports whether this source runs on the legacy math/rand
+// engine rather than the default PCG engine.
+func (r *RNG) Legacy() bool { return r.pcg == nil }
+
+// ForkSeed returns the seed a Fork(label) child would be created with:
+// a SplitMix64-style hash of (parent seed, label), so children do not
+// overlap with the parent stream. Exposed so content descriptors can
+// name a child stream without instantiating it.
+func (r *RNG) ForkSeed(label int64) int64 {
 	z := uint64(r.seed) + 0x9e3779b97f4a7c15*uint64(label+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	return NewRNG(int64(z))
+	return int64(z)
+}
+
+// Fork derives an independent child source on the same engine as the
+// parent. On the PCG engine this is O(1); the legacy engine pays the
+// full math/rand source initialisation.
+func (r *RNG) Fork(label int64) *RNG {
+	seed := r.ForkSeed(label)
+	if r.pcg == nil {
+		return NewLegacyRNG(seed)
+	}
+	return NewRNG(seed)
 }
 
 // Jitter returns a duration uniformly distributed in [base-spread/2,
@@ -51,6 +91,73 @@ func (r *RNG) Jitter(base, spread int64) int64 {
 // Bytes fills and returns a new buffer of n random bytes.
 func (r *RNG) Bytes(n int) []byte {
 	b := make([]byte, n)
-	r.Read(b)
+	r.Fill(b)
 	return b
 }
+
+// Fill fills dst with random bytes. On the PCG engine this is a plain
+// word-copy loop — eight bytes per generator step, no per-byte state —
+// which is what makes large file materialisation cheap enough to run
+// lazily at plan time.
+func (r *RNG) Fill(dst []byte) {
+	if r.pcg == nil {
+		r.Read(dst)
+		return
+	}
+	p := r.pcg
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], p.Uint64())
+	}
+	if i < len(dst) {
+		v := p.Uint64()
+		for ; i < len(dst); i++ {
+			dst[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// pcg is a PCG-RXS-M-XS-64 generator: a 64-bit LCG state stepped once
+// per output, with an output permutation (random xorshift, multiply,
+// xorshift) that makes the stream statistically sound. One multiply
+// and a handful of shifts per 64 output bits — against math/rand's
+// 607-word source state and array-walk per call — is what turns file
+// materialisation into a memory-bandwidth problem.
+type pcg struct {
+	state uint64
+	inc   uint64 // stream selector; must be odd
+}
+
+// newPCG builds a generator from a seed via two SplitMix64 rounds: one
+// for the initial state, one for the stream increment. This is the
+// whole cost of RNG.Fork on the PCG engine.
+func newPCG(seed int64) *pcg {
+	s0 := splitmix64(uint64(seed))
+	s1 := splitmix64(s0)
+	return &pcg{state: s0, inc: s1 | 1}
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al.), the standard
+// seed-expansion hash for PCG/xoshiro-family generators.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 steps the LCG and permutes the previous state into an output.
+func (p *pcg) Uint64() uint64 {
+	old := p.state
+	p.state = old*6364136223846793005 + p.inc
+	word := ((old >> ((old >> 59) + 5)) ^ old) * 12605985483714917081
+	return (word >> 43) ^ word
+}
+
+// Int63 makes pcg a rand.Source.
+func (p *pcg) Int63() int64 { return int64(p.Uint64() >> 1) }
+
+// Seed makes pcg a full rand.Source; math/rand never calls it outside
+// rand.Rand.Seed, which this package does not use.
+func (p *pcg) Seed(seed int64) { *p = *newPCG(seed) }

@@ -220,8 +220,8 @@ func TestWindowMatchesSeedCopyingWindow(t *testing.T) {
 			{t0, FarFuture},
 			{t0.Add(time.Second), lastT},
 			{t0.Add(5 * time.Second), t0.Add(10 * time.Second)},
-			{lastT, lastT},                      // empty
-			{t0.Add(time.Hour), FarFuture},      // past the end
+			{lastT, lastT},                             // empty
+			{t0.Add(time.Hour), FarFuture},             // past the end
 			{t0.Add(-time.Hour), t0.Add(-time.Minute)}, // before the start
 		}
 		for _, cut := range cuts {

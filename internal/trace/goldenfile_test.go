@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/goldenfile"
+)
+
+// TestGoldenCSVFormat pins the v2 trace interchange format byte for
+// byte: a small deterministic capture — flows, plain records, a span
+// record, every flag — serialised through WriteCSV and checked against
+// testdata/golden_trace.csv.json. Offline tooling parses these dumps,
+// so the format may only change together with a sanctioned golden
+// refresh (scripts/regen-golden.sh) and a version bump.
+func TestGoldenCSVFormat(t *testing.T) {
+	c := NewCapture()
+	a := c.OpenFlow(FlowKey{ClientAddr: "10.0.0.1", ClientPort: 40000,
+		ServerAddr: "203.0.113.1", ServerPort: 443}, "storage.example", t0)
+	b := c.OpenFlow(FlowKey{ClientAddr: "10.0.0.1", ClientPort: 40001,
+		ServerAddr: "203.0.113.2", ServerPort: 80}, "control.example", t0.Add(time.Second))
+	c.Record(Packet{Time: t0, Flow: a, Dir: Upstream, Flags: Flags{SYN: true}, Wire: 66})
+	c.Record(Packet{Time: t0.Add(10 * time.Millisecond), Flow: a, Dir: Downstream,
+		Flags: Flags{SYN: true, ACK: true}, Wire: 66})
+	c.Record(Packet{Time: t0.Add(20 * time.Millisecond), Flow: a, Dir: Upstream,
+		Payload: 2920, Wire: 3052, Segments: 2, AckWire: 66})
+	c.Record(Span(t0.Add(30*time.Millisecond), a, Upstream, Flags{},
+		4, 14600, 7300, 25*time.Millisecond))
+	c.Record(Packet{Time: t0.Add(2 * time.Second), Flow: b, Dir: Upstream,
+		Flags: Flags{FIN: true, ACK: true}, Wire: 66})
+	c.Record(Packet{Time: t0.Add(3 * time.Second), Flow: b, Dir: Downstream,
+		Flags: Flags{RST: true}, Wire: 66})
+
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenfile.Check(t, "testdata/golden_trace_csv.json", buf.String())
+
+	// And it must round-trip: reading the dump reproduces the capture.
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() || back.SpanCount() != c.SpanCount() {
+		t.Fatalf("round trip: %d records/%d spans, want %d/%d",
+			back.Len(), back.SpanCount(), c.Len(), c.SpanCount())
+	}
+}

@@ -43,11 +43,14 @@ func SizeLabel(n int64) string {
 
 // Materialize creates the batch's files in the folder at time `at`,
 // naming them set<i>/file<i>.<ext>. It returns the created paths.
+// Despite the historical name, nothing is generated here: each file is
+// a lazy content descriptor over its own forked stream, and bytes come
+// into existence only if a consumer needs them.
 func (b Batch) Materialize(f *Folder, rng *sim.RNG, at time.Time, prefix string) []string {
 	paths := make([]string, 0, b.Count)
 	for i := 0; i < b.Count; i++ {
 		path := fmt.Sprintf("%s/file%04d%s", prefix, i, b.Kind.Ext())
-		f.Create(at, path, Generate(rng.Fork(int64(i)), b.Kind, b.Size))
+		f.CreateLazy(at, path, Describe(rng.Fork(int64(i)), b.Kind, b.Size))
 		paths = append(paths, path)
 	}
 	return paths

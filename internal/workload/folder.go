@@ -39,12 +39,25 @@ type Change struct {
 	Type ChangeType
 }
 
-// File is one file in the synchronized folder.
+// File is one file in the synchronized folder. Its content may be a
+// lazy descriptor (generated benchmark files) or eager bytes (files
+// edited by the workload script); consumers that only need the length
+// use Size and never force materialisation.
 type File struct {
 	Path    string
-	Data    []byte
 	ModTime time.Time
+	content Content
 }
+
+// Content returns the file's content handle.
+func (f *File) Content() Content { return f.content }
+
+// Size returns the file length without materialising lazy content.
+func (f *File) Size() int64 { return f.content.Size() }
+
+// Bytes returns the file content as a byte slice, materialising lazy
+// descriptors. The returned slice must not be modified.
+func (f *File) Bytes() []byte { return f.content.Bytes() }
 
 // Folder is the virtual synchronized directory manipulated by the
 // testing application and watched by the client under test. It keeps
@@ -53,7 +66,7 @@ type File struct {
 // deduplication test (Sect. 4.3 step iv) can bring content back.
 type Folder struct {
 	files   map[string]*File
-	deleted map[string][]byte // tombstones: last content of removed files
+	deleted map[string]Content // tombstones: last content of removed files
 	journal []Change
 }
 
@@ -61,17 +74,29 @@ type Folder struct {
 func NewFolder() *Folder {
 	return &Folder{
 		files:   make(map[string]*File),
-		deleted: make(map[string][]byte),
+		deleted: make(map[string]Content),
 	}
 }
 
-// Create adds a new file. It panics if the path exists — the workload
-// scripts are deterministic and a collision is a scripting bug.
+// Create adds a new file with eager bytes. It panics if the path
+// exists — the workload scripts are deterministic and a collision is a
+// scripting bug.
 func (f *Folder) Create(at time.Time, path string, data []byte) {
+	f.CreateContent(at, path, BytesContent(data))
+}
+
+// CreateLazy adds a new file backed by a content descriptor; no bytes
+// are generated until a consumer materialises them.
+func (f *Folder) CreateLazy(at time.Time, path string, d Descriptor) {
+	f.CreateContent(at, path, DescriptorContent(d))
+}
+
+// CreateContent adds a new file with the given content handle.
+func (f *Folder) CreateContent(at time.Time, path string, c Content) {
 	if _, ok := f.files[path]; ok {
 		panic(fmt.Sprintf("workload: Create over existing path %q", path))
 	}
-	f.files[path] = &File{Path: path, Data: data, ModTime: at}
+	f.files[path] = &File{Path: path, content: c, ModTime: at}
 	f.log(at, path, Created)
 }
 
@@ -82,16 +107,17 @@ func (f *Folder) Write(at time.Time, path string, data []byte) {
 	if !ok {
 		panic(fmt.Sprintf("workload: Write to missing path %q", path))
 	}
-	file.Data = data
+	file.content = BytesContent(data)
 	file.ModTime = at
 	f.log(at, path, Modified)
 }
 
-// Append adds data at the end of an existing file.
+// Append adds data at the end of an existing file, materialising lazy
+// content first — an edited file has concrete bytes by definition.
 func (f *Folder) Append(at time.Time, path string, data []byte) {
 	file := f.mustGet(path)
-	buf := make([]byte, 0, len(file.Data)+len(data))
-	buf = append(buf, file.Data...)
+	buf := make([]byte, 0, file.Size()+int64(len(data)))
+	buf = file.content.AppendTo(buf)
 	buf = append(buf, data...)
 	f.Write(at, path, buf)
 }
@@ -100,23 +126,24 @@ func (f *Folder) Append(at time.Time, path string, data []byte) {
 // shifting the remainder — the "random position" delta-encoding case.
 func (f *Folder) InsertAt(at time.Time, path string, offset int64, data []byte) {
 	file := f.mustGet(path)
-	if offset < 0 || offset > int64(len(file.Data)) {
-		panic(fmt.Sprintf("workload: InsertAt offset %d outside %q (%d bytes)", offset, path, len(file.Data)))
+	if offset < 0 || offset > file.Size() {
+		panic(fmt.Sprintf("workload: InsertAt offset %d outside %q (%d bytes)", offset, path, file.Size()))
 	}
-	buf := make([]byte, 0, len(file.Data)+len(data))
-	buf = append(buf, file.Data[:offset]...)
+	old := file.Bytes()
+	buf := make([]byte, 0, int64(len(old))+int64(len(data)))
+	buf = append(buf, old[:offset]...)
 	buf = append(buf, data...)
-	buf = append(buf, file.Data[offset:]...)
+	buf = append(buf, old[offset:]...)
 	f.Write(at, path, buf)
 }
 
 // Copy duplicates src to dst (same payload, different name — the
-// deduplication test's replica step).
+// deduplication test's replica step). Content handles are immutable,
+// so the copy shares them: a lazy source stays lazy, and equal
+// descriptors keep advertising their equality to cache layers.
 func (f *Folder) Copy(at time.Time, src, dst string) {
 	file := f.mustGet(src)
-	data := make([]byte, len(file.Data))
-	copy(data, file.Data)
-	f.Create(at, dst, data)
+	f.CreateContent(at, dst, file.content)
 }
 
 // Rename moves a file to a new path, content unchanged. The sync
@@ -128,18 +155,18 @@ func (f *Folder) Rename(at time.Time, from, to string) {
 	if _, exists := f.files[to]; exists {
 		panic(fmt.Sprintf("workload: Rename target %q exists", to))
 	}
-	data := file.Data
-	f.deleted[from] = data
+	c := file.content
+	f.deleted[from] = c
 	delete(f.files, from)
 	f.log(at, from, Deleted)
-	f.files[to] = &File{Path: to, Data: data, ModTime: at}
+	f.files[to] = &File{Path: to, content: c, ModTime: at}
 	f.log(at, to, Created)
 }
 
 // Delete removes a file, keeping a tombstone for Restore.
 func (f *Folder) Delete(at time.Time, path string) {
 	file := f.mustGet(path)
-	f.deleted[path] = file.Data
+	f.deleted[path] = file.content
 	delete(f.files, path)
 	f.log(at, path, Deleted)
 }
@@ -147,12 +174,12 @@ func (f *Folder) Delete(at time.Time, path string) {
 // Restore brings a previously deleted file back with its old content
 // (the user "places the original file back").
 func (f *Folder) Restore(at time.Time, path string) {
-	data, ok := f.deleted[path]
+	c, ok := f.deleted[path]
 	if !ok {
 		panic(fmt.Sprintf("workload: Restore of never-deleted path %q", path))
 	}
 	delete(f.deleted, path)
-	f.Create(at, path, data)
+	f.CreateContent(at, path, c)
 }
 
 // Get returns a file by path.
@@ -174,11 +201,12 @@ func (f *Folder) Paths() []string {
 // Len returns the number of files currently present.
 func (f *Folder) Len() int { return len(f.files) }
 
-// TotalBytes returns the summed size of all current files.
+// TotalBytes returns the summed size of all current files; lazy files
+// contribute their descriptor size without materialising.
 func (f *Folder) TotalBytes() int64 {
 	var n int64
 	for _, file := range f.files {
-		n += int64(len(file.Data))
+		n += file.Size()
 	}
 	return n
 }

@@ -80,7 +80,7 @@ func TestFolderCreateWriteJournal(t *testing.T) {
 	f.Create(at(0), "a.bin", []byte("v1"))
 	f.Write(at(1), "a.bin", []byte("v2"))
 	file, ok := f.Get("a.bin")
-	if !ok || string(file.Data) != "v2" || !file.ModTime.Equal(at(1)) {
+	if !ok || string(file.Bytes()) != "v2" || !file.ModTime.Equal(at(1)) {
 		t.Fatalf("file state: %+v", file)
 	}
 	j := f.Journal()
@@ -94,33 +94,56 @@ func TestFolderAppendAndInsert(t *testing.T) {
 	f.Create(at(0), "a.bin", []byte("hello"))
 	f.Append(at(1), "a.bin", []byte(" world"))
 	file, _ := f.Get("a.bin")
-	if string(file.Data) != "hello world" {
-		t.Fatalf("append: %q", file.Data)
+	if string(file.Bytes()) != "hello world" {
+		t.Fatalf("append: %q", file.Bytes())
 	}
 	f.InsertAt(at(2), "a.bin", 5, []byte(","))
 	file, _ = f.Get("a.bin")
-	if string(file.Data) != "hello, world" {
-		t.Fatalf("insert: %q", file.Data)
+	if string(file.Bytes()) != "hello, world" {
+		t.Fatalf("insert: %q", file.Bytes())
 	}
 	// Boundary offsets.
 	f.InsertAt(at(3), "a.bin", 0, []byte(">"))
 	f.InsertAt(at(4), "a.bin", int64(len(">hello, world")), []byte("<"))
 	file, _ = f.Get("a.bin")
-	if string(file.Data) != ">hello, world<" {
-		t.Fatalf("boundary insert: %q", file.Data)
+	if string(file.Bytes()) != ">hello, world<" {
+		t.Fatalf("boundary insert: %q", file.Bytes())
 	}
 }
 
-func TestFolderCopyIsDeep(t *testing.T) {
+func TestFolderCopySharesImmutableContent(t *testing.T) {
 	f := NewFolder()
 	f.Create(at(0), "orig", []byte("payload"))
 	f.Copy(at(1), "orig", "copy")
 	c, _ := f.Get("copy")
-	c.Data[0] = 'X'
 	o, _ := f.Get("orig")
-	if o.Data[0] == 'X' {
-		t.Fatal("Copy aliases source data")
+	if !bytes.Equal(c.Bytes(), o.Bytes()) {
+		t.Fatal("copy content differs from source")
 	}
+	// A copied lazy file stays lazy: descriptors are immutable, so the
+	// copy shares the recipe and keeps advertising content identity.
+	f.CreateLazy(at(2), "lazy", Describe(sim.NewRNG(9), Binary, 1000))
+	f.Copy(at(3), "lazy", "lazy-copy")
+	lc, _ := f.Get("lazy-copy")
+	if !lc.Content().Lazy() {
+		t.Fatal("copying a lazy file materialised it")
+	}
+	ld, _ := lc.Content().Descriptor()
+	sd, _ := mustFile(f, "lazy").Content().Descriptor()
+	if ld != sd {
+		t.Fatal("copied descriptor differs")
+	}
+	if !bytes.Equal(lc.Bytes(), mustFile(f, "lazy").Bytes()) {
+		t.Fatal("lazy copy materialises differently")
+	}
+}
+
+func mustFile(f *Folder, path string) *File {
+	file, ok := f.Get(path)
+	if !ok {
+		panic("missing " + path)
+	}
+	return file
 }
 
 func TestFolderDeleteRestore(t *testing.T) {
@@ -134,7 +157,7 @@ func TestFolderDeleteRestore(t *testing.T) {
 	}
 	f.Restore(at(2), "a")
 	file, ok := f.Get("a")
-	if !ok || !bytes.Equal(file.Data, payload) {
+	if !ok || !bytes.Equal(file.Bytes(), payload) {
 		t.Fatal("restore did not bring identical content back")
 	}
 	types := []ChangeType{Created, Deleted, Created}
@@ -194,7 +217,7 @@ func TestBatchMaterialize(t *testing.T) {
 	// Files must differ from one another (independent RNG forks).
 	a, _ := f.Get(paths[0])
 	c, _ := f.Get(paths[1])
-	if bytes.Equal(a.Data, c.Data) {
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
 		t.Fatal("batch files are identical")
 	}
 }
@@ -248,7 +271,7 @@ func TestFolderRename(t *testing.T) {
 		t.Fatal("old path still present")
 	}
 	file, ok := f.Get("new/name.bin")
-	if !ok || string(file.Data) != "payload" {
+	if !ok || string(file.Bytes()) != "payload" {
 		t.Fatal("content lost in rename")
 	}
 	// Journal shows delete+create, which is what the client sees.

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# regen-golden.sh — sanctioned golden-value refresh.
+#
+# Golden tests pin the simulation bit for bit; their values live in
+# testdata/*.json and are compared through internal/goldenfile. When an
+# engine change legitimately alters simulated behaviour (e.g. the PCG
+# content pipeline changed every simulated byte), regenerate every
+# golden file in one command:
+#
+#   scripts/regen-golden.sh
+#
+# then review the diff and commit it together with the engine change
+# and a BASELINE_RESET marker for the perf-snapshot baseline (see
+# scripts/trendcheck.sh). Hand-editing pinned values is never needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Every package that owns goldenfile-backed testdata. (The -update
+# flag is registered by internal/goldenfile, so it only exists in test
+# binaries that link it — hence the explicit list instead of ./... .)
+pkgs=(
+  ./internal/core
+  ./internal/client
+  ./internal/trace
+)
+
+go test "${pkgs[@]}" -run 'Golden' -update -count=1
+echo "golden files regenerated; review with: git diff --stat '**/testdata'"

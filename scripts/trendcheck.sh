@@ -2,13 +2,26 @@
 # trendcheck.sh — fail when the engine's simulated metrics drift from
 # the newest committed BENCH_<sha>.json snapshot.
 #
-# Diffs a snapshot of HEAD (a pre-built one, or freshly generated via
-# scripts/bench.sh) against the committed baseline with
-# `comparebench -fail-on-drift`: simulated metrics are deterministic
-# given a seed, so ANY delta means an engine change altered simulated
-# behaviour (wall-clock micro numbers are informational and not
-# compared). The gate also fails when the campaigns share no
-# comparable cells, so a fig6-less baseline cannot pass vacuously.
+# Two gates run, both on simulated metrics only (wall-clock micro
+# numbers are informational and never compared; simulated metrics are
+# deterministic given a seed, so ANY delta means an engine change
+# altered simulated behaviour):
+#
+#  1. Baseline continuity: the newest committed snapshot is compared
+#     against the previously committed one. Drift here means a new
+#     baseline was committed that silently rewrote history — that
+#     fails, UNLESS a committed BASELINE_RESET marker names the new
+#     baseline file. A sanctioned reset is then verified the other way
+#     around (`comparebench -expect-drift`): the marker must
+#     correspond to a real engine change, so a stale marker cannot
+#     linger and sanction some future silent reset.
+#
+#  2. HEAD drift: a snapshot of HEAD (pre-built, or freshly generated
+#     via scripts/bench.sh) is diffed against the newest committed
+#     baseline with `comparebench -fail-on-drift`. The gate also fails
+#     when the campaigns share no comparable cells, so a fig6-less
+#     baseline cannot pass vacuously.
+#
 # CI runs this on every push, reusing the snapshot it just recorded.
 #
 # Usage: scripts/trendcheck.sh [threshold] [snapshot.json]
@@ -18,17 +31,39 @@ cd "$(dirname "$0")/.."
 threshold="${1:-1.05}"
 new="${2:-}"
 
-# Baseline: the most recently committed BENCH_*.json, by commit time
-# with the filename as a deterministic tie-break (shallow clones give
-# every file the same graft timestamp; CI fetches full history).
-base="$(git ls-files 'BENCH_*.json' | while read -r f; do
+# Committed BENCH_*.json baselines, oldest first, by commit time with
+# the filename as a deterministic tie-break (shallow clones give every
+# file the same graft timestamp; CI fetches full history).
+baselines="$(git ls-files 'BENCH_*.json' | while read -r f; do
   printf '%s %s\n' "$(git log -1 --format=%ct -- "$f")" "$f"
-done | sort -k1,1n -k2,2 | tail -1 | cut -d' ' -f2-)"
+done | sort -k1,1n -k2,2 | cut -d' ' -f2-)"
+base="$(printf '%s\n' "${baselines}" | tail -1)"
+prev="$(printf '%s\n' "${baselines}" | tail -2 | head -1)"
 if [ -z "${base}" ]; then
   echo "trendcheck: no committed BENCH_*.json baseline found" >&2
   exit 1
 fi
 
+# Gate 1: baseline continuity (only when a predecessor exists).
+if [ -n "${prev}" ] && [ "${prev}" != "${base}" ]; then
+  marker=""
+  if git ls-files --error-unmatch BASELINE_RESET >/dev/null 2>&1; then
+    marker="$(grep -v '^#' BASELINE_RESET | grep -m1 . | tr -d '[:space:]')"
+  fi
+  if [ "${marker}" = "${base}" ]; then
+    echo "baseline reset sanctioned by BASELINE_RESET (${base}); verifying the reset is real"
+    go run ./cmd/comparebench -a "${prev}" -b "${base}" -threshold "${threshold}" -expect-drift
+  else
+    echo "checking baseline continuity: ${prev} -> ${base}"
+    go run ./cmd/comparebench -a "${prev}" -b "${base}" -threshold "${threshold}" -fail-on-drift || {
+      echo "trendcheck: committed baseline ${base} silently drifted from ${prev}." >&2
+      echo "A deliberate engine change must commit a BASELINE_RESET marker naming ${base}." >&2
+      exit 1
+    }
+  fi
+fi
+
+# Gate 2: HEAD against the newest committed baseline.
 if [ -z "${new}" ]; then
   new="$(mktemp -t bench_head.XXXXXX.json)"
   trap 'rm -f "${new}"' EXIT
