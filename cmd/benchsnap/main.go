@@ -128,15 +128,37 @@ type contentMicro struct {
 	PCGBPerOp    int64   `json:"pcg_b_per_op"`
 }
 
+// transportLossyMicro times one large lossy transfer through the
+// analytic engine (geometric next-loss sampling, clean runs emitted
+// as spans) against the per-round event loop: engine ns, Sink.Record
+// calls and RNG draws per transfer. The path is a 2 Mb/s uplink (the
+// WhatIfMobileUplink rate), where slices are small and the per-round
+// engine pays one draw per ~2 segments — the regime the ROADMAP's
+// episode schedules and loss matrices live in.
+type transportLossyMicro struct {
+	Workload         string  `json:"workload"`
+	LossRate         float64 `json:"loss_rate"`
+	AnalyticNs       int64   `json:"analytic_ns"`
+	EventLoopNs      int64   `json:"event_loop_ns"`
+	SpeedupX         float64 `json:"speedup_x"`
+	AnalyticRecords  int64   `json:"analytic_records"`
+	EventLoopRecords int64   `json:"event_loop_records"`
+	RecordReductionX float64 `json:"record_reduction_x"`
+	AnalyticDraws    int64   `json:"analytic_rng_draws"`
+	EventLoopDraws   int64   `json:"event_loop_rng_draws"`
+	DrawReductionX   float64 `json:"draw_reduction_x"`
+}
+
 type micro struct {
-	GoMaxProcs       int             `json:"go_max_procs"`
-	CampaignWorkload string          `json:"campaign_workload"`
-	Campaign         []campaignMicro `json:"campaign"`
-	Matrix           matrixMicro     `json:"matrix"`
-	MeasureWindow    measureMicro    `json:"measure_window"`
-	Memory           memoryMicro     `json:"memory"`
-	Transport        transportMicro  `json:"transport"`
-	Content          []contentMicro  `json:"content"`
+	GoMaxProcs       int                 `json:"go_max_procs"`
+	CampaignWorkload string              `json:"campaign_workload"`
+	Campaign         []campaignMicro     `json:"campaign"`
+	Matrix           matrixMicro         `json:"matrix"`
+	MeasureWindow    measureMicro        `json:"measure_window"`
+	Memory           memoryMicro         `json:"memory"`
+	Transport        transportMicro      `json:"transport"`
+	TransportLossy   transportLossyMicro `json:"transport_lossy"`
+	Content          []contentMicro      `json:"content"`
 }
 
 // snapshot is a core.Campaign plus the engine micro section; the
@@ -212,6 +234,7 @@ func main() {
 
 	snap.Micro.Memory = memoryMicroBench(*seed)
 	snap.Micro.Transport = transportMicroBench()
+	snap.Micro.TransportLossy = transportLossyMicroBench()
 	snap.Micro.Content = []contentMicro{
 		contentMicroBench("100 x 10 kB", 100, 10_000),
 		contentMicroBench("4 x 4 MB", 4, 4<<20),
@@ -377,6 +400,58 @@ func transportMicroBench() transportMicro {
 	}
 	if analyticRec > 0 {
 		m.RecordReductionX = float64(eventRec) / float64(analyticRec)
+	}
+	return m
+}
+
+// transportLossyMicroBench measures a 16 MB upstream transfer at 2%
+// segment loss on a 2 Mb/s mobile-uplink path through the analytic
+// engine and through the per-round event loop. The topology (and its
+// RNG seed) is rebuilt per run so both engines sample the loss
+// process from the same stream; record and draw counts come from the
+// final timed run of each engine.
+func transportLossyMicroBench() transportLossyMicro {
+	const (
+		payload  = 16 << 20
+		lossRate = 0.02
+	)
+	run := func(force bool) (time.Duration, int64, int64) {
+		var records, draws int64
+		wall := minWall(7, func() {
+			n := netem.New(sim.NewClock(), sim.NewRNG(1))
+			n.LossRate = lossRate
+			clientHost := n.AddHost(&netem.Host{Name: "client.sim", Addr: "10.0.0.1",
+				Coord: geo.Coord{Lat: 52.22, Lon: 6.89}})
+			server := n.AddHost(&netem.Host{Name: "server.sim", Addr: "203.0.113.1",
+				Coord: geo.Coord{Lat: 47.38, Lon: 8.54}, RateBps: 2e6})
+			var sink countingSink
+			d := tcpsim.NewDialer(n, &sink, clientHost)
+			d.ForceEventLoop = force
+			c := d.Dial(server, "storage.sim", sim.Epoch, tcpsim.DefaultTLS)
+			c.Send(payload)
+			records = sink.records
+			draws = d.LossDraws()
+		})
+		return wall, records, draws
+	}
+	analyticWall, analyticRec, analyticDraws := run(false)
+	eventWall, eventRec, eventDraws := run(true)
+	m := transportLossyMicro{
+		Workload:         "16 MB upstream, 2 Mb/s, 2% loss",
+		LossRate:         lossRate,
+		AnalyticNs:       analyticWall.Nanoseconds(),
+		EventLoopNs:      eventWall.Nanoseconds(),
+		SpeedupX:         ratio(eventWall, analyticWall),
+		AnalyticRecords:  analyticRec,
+		EventLoopRecords: eventRec,
+		AnalyticDraws:    analyticDraws,
+		EventLoopDraws:   eventDraws,
+	}
+	if analyticRec > 0 {
+		m.RecordReductionX = float64(eventRec) / float64(analyticRec)
+	}
+	if analyticDraws > 0 {
+		m.DrawReductionX = float64(eventDraws) / float64(analyticDraws)
 	}
 	return m
 }

@@ -6,8 +6,14 @@
 // Usage:
 //
 //	cloudbench [-service NAME|all] [-experiment NAME|all] [-reps N] [-seed N] [-parallel N]
+//	cloudbench -loss RATES [-service NAME|all] [-reps N] [-seed N] [-parallel N]
 //
 // Experiments: table1, fig1, fig3, fig4, fig5, fig6, discover, all.
+//
+// -loss switches to the loss-sweep mode: a comma-separated list of
+// segment-loss rates (e.g. "0.005,0.02,0.08") crossed with the
+// selected services, each cell a summarized set of lossy upload
+// repetitions through the analytic lossy transport engine.
 //
 // -parallel sets the fan-out of the whole experiment matrix: every
 // independent cell — benchmark repetitions, Fig. 4/5 sweep sizes,
@@ -24,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +49,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "base random seed")
 		doPlot     = flag.Bool("plot", false, "render ASCII charts for figs 1, 3 and 6")
 		parallel   = flag.Int("parallel", 0, "concurrent experiment cells across the whole matrix (0 = one per CPU, 1 = sequential; results are identical at any setting)")
+		loss       = flag.String("loss", "", "comma-separated segment-loss rates (e.g. 0.005,0.02,0.08): run the loss-sweep mode instead of -experiment")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -54,6 +62,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *loss != "" {
+		rates, err := parseLossRates(*loss)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		lossSweep(profiles, rates, *reps, *seed)
+		return
 	}
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }
 
@@ -352,6 +369,46 @@ func locations(seed int64) {
 	batch := workload.Batch{Count: 1, Size: 1 << 20, Kind: workload.Binary}
 	cells := core.LocationStudy(batch, vantages, seed)
 	fmt.Print(core.LocationReport(cells, vantages))
+	fmt.Println()
+}
+
+func parseLossRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r < 0 || r >= 1 {
+			return nil, fmt.Errorf("-loss: %q is not a loss rate in [0, 1)", part)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("-loss: no rates in %q", s)
+	}
+	return rates, nil
+}
+
+func lossSweep(profiles []client.Profile, rates []float64, reps int, seed int64) {
+	fmt.Printf("== Loss sweep: %s, %d repetitions per cell ==\n",
+		core.DefaultLossBatch, reps)
+	cells := core.LossSweep(profiles, rates, core.DefaultLossBatch, core.Twente, reps, seed)
+	fmt.Printf("%-14s%10s%14s%12s%12s\n", "service", "loss", "completion", "startup", "overhead")
+	for _, c := range cells {
+		fmt.Printf("%-14s%9.2f%%%13.1fs%11.1fs%11.2fx\n",
+			c.Service, c.LossRate*100,
+			c.Summary.MeanCompletion.Seconds(), c.Summary.MeanStartup.Seconds(),
+			c.Summary.MeanOverhead)
+	}
+	fmt.Println("\nCSV: service,loss_rate,completion_s,startup_s,overhead_x")
+	for _, c := range cells {
+		fmt.Printf("%s,%g,%.3f,%.3f,%.3f\n",
+			c.Service, c.LossRate,
+			c.Summary.MeanCompletion.Seconds(), c.Summary.MeanStartup.Seconds(),
+			c.Summary.MeanOverhead)
+	}
 	fmt.Println()
 }
 

@@ -23,11 +23,18 @@
 //     is (O(log n) per-round records) and the rate-limited steady
 //     state collapses into a single trace.Span record plus one
 //     duration formula — one Sink.Record call where the seed engine
-//     paid O(bytes/BDP) of them. Lossy paths keep the per-round event
-//     loop so RNG draw order and fast-retransmit records are
-//     unchanged; Dialer.ForceEventLoop exposes that loop as the
-//     reference engine for the equivalence tests and the benchsnap
-//     transport micro.
+//     paid O(bytes/BDP) of them. Lossy paths are analytic too: the
+//     next loss position is inverse-transform sampled from the
+//     geometric run-length distribution (one RNG draw per loss event,
+//     not one per round), loss-free runs between losses advance
+//     through the same closed-form schedule, and each recovery epoch
+//     (window halving, fast-retransmit record) is evaluated exactly
+//     as the per-round loop would — a lossy transfer costs O(losses),
+//     not O(rounds). Dialer.ForceEventLoop keeps that loop as the
+//     reference engine: bit-identical under injected loss positions,
+//     distributionally equivalent under RNG-driven loss (both pinned
+//     by internal/tcpsim's equivalence suites and timed by the
+//     benchsnap transport micros).
 //   - internal/trace.Sink is the recording boundary the transport
 //     simulator writes against, with two implementations. Capture
 //     records packets append-only; stragglers from connections

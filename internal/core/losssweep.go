@@ -1,0 +1,93 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cloud"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The paper's Sect. 5 long-distance results and the WhatIfLossyPath
+// counterfactual live on lossy paths. With the analytic lossy engine
+// (internal/tcpsim/loss.go) a lossy repetition costs O(losses), so a
+// full service x loss-rate matrix is as affordable as any other
+// campaign layer. This file is that matrix: reproducible loss curves
+// from the CLI (cloudbench -loss) and a lossy section of the
+// persisted campaign, so baselines pin the lossy engine's behaviour
+// the way Fig. 6 pins the clean one.
+
+// LossCell is one point of a loss sweep: one service's summarized
+// repetitions of a fixed workload at one segment-loss rate.
+type LossCell struct {
+	Service  string         `json:"service"`
+	LossRate float64        `json:"loss_rate"`
+	Workload workload.Batch `json:"workload"`
+	Summary  Summary        `json:"summary"`
+}
+
+// DefaultLossRates is the loss axis used by the campaign's lossy
+// section and cloudbench's default sweep — the rates the equivalence
+// suite pins (0.5%, 2%, 8%).
+var DefaultLossRates = []float64{0.005, 0.02, 0.08}
+
+// DefaultLossBatch is the loss-sweep workload: one 1 MB upload, deep
+// enough to leave slow start on every profile path yet cheap enough
+// to repeat across the full matrix.
+var DefaultLossBatch = workload.Batch{Count: 1, Size: 1 << 20, Kind: workload.Binary}
+
+// lossSweepSeed derives the seed of one (service, rate, repetition)
+// cell: a per-cell base spread by distinct primes, repetitions spread
+// by campaignSeed — the same index→seed discipline as fig6Seed.
+func lossSweepSeed(seed int64, si, ri, rep int) int64 {
+	return campaignSeed(seed+int64(si)*1000003+int64(ri)*10007, rep)
+}
+
+// RunSyncLossy is one repetition of a synchronization benchmark over
+// a lossy path from an arbitrary vantage: RunSyncFrom with the
+// network's segment-loss rate set before any traffic (login and
+// settle traffic share the lossy path, as they would in the paper's
+// testbed under netem).
+func RunSyncLossy(p client.Profile, batch workload.Batch, v Vantage, seed int64, jitter, loss float64) Metrics {
+	tb := assembleTestbed(p, cloud.SpecFor(p.Service), vantageHost(v), sim.NewRNG(seed), jitter, true)
+	tb.Net.LossRate = loss
+	start := tb.Settle()
+	t0 := tb.Clock.Now()
+	tb.StartWindow(t0)
+	batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
+	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+	tb.Clock.AdvanceTo(res.Done)
+	return MeasureWindow(tb, t0, batch.Total())
+}
+
+// LossSweep runs the service x loss-rate matrix for one workload from
+// the given vantage: reps repetitions per cell, the whole matrix
+// flattened onto the shared scheduler pool like every other campaign
+// layer. Results are ordered service-major, rate-minor, and are
+// bit-identical at any worker count.
+func LossSweep(profiles []client.Profile, rates []float64, batch workload.Batch, v Vantage, reps int, seed int64) []LossCell {
+	if reps <= 0 {
+		reps = DefaultReps
+	}
+	perCell := reps
+	perSvc := len(rates) * perCell
+	runs := RunN(len(profiles)*perSvc, CampaignWorkers, func(i int) Metrics {
+		si, rest := i/perSvc, i%perSvc
+		ri, rep := rest/perCell, rest%perCell
+		return RunSyncLossy(profiles[si], batch, v, lossSweepSeed(seed, si, ri, rep), DefaultJitter, rates[ri])
+	})
+	out := make([]LossCell, 0, len(profiles)*len(rates))
+	for si, p := range profiles {
+		for ri, rate := range rates {
+			lo := si*perSvc + ri*perCell
+			out = append(out, LossCell{
+				Service:  p.Service,
+				LossRate: rate,
+				Workload: batch,
+				Summary:  Summarize(runs[lo : lo+perCell]),
+			})
+		}
+	}
+	return out
+}

@@ -27,6 +27,11 @@ type Campaign struct {
 	CreatedAt time.Time    `json:"created_at"`
 	Fig6      []Fig6Result `json:"fig6"`
 	Idle      []IdleResult `json:"idle,omitempty"`
+	// Lossy is the loss-sweep section (service x loss rate, see
+	// LossSweep): the lossy engine's behaviour pinned in baselines
+	// the way Fig6 pins the clean engine's. Older campaign files
+	// simply lack it; Compare reports the cells as added.
+	Lossy []LossCell `json:"lossy,omitempty"`
 }
 
 // ToolVersion identifies the campaign format.
@@ -61,14 +66,20 @@ type Delta struct {
 	Ratio float64
 }
 
-// campaignIndex flattens a campaign's Fig. 6 results into a
-// (service|workload) -> Summary lookup.
+// campaignIndex flattens a campaign's compared cells into a
+// (service|workload) -> Summary lookup: the Fig. 6 matrix plus the
+// loss-sweep section, whose workload key carries the loss rate so
+// lossy cells never collide with clean ones.
 func campaignIndex(c Campaign) map[string]Summary {
 	m := map[string]Summary{}
 	for _, r := range c.Fig6 {
 		for i, s := range r.Summaries {
 			m[r.Service+"|"+r.Workloads[i].String()] = s
 		}
+	}
+	for _, cell := range c.Lossy {
+		key := fmt.Sprintf("%s|%s@%g%%loss", cell.Service, cell.Workload, cell.LossRate*100)
+		m[key] = cell.Summary
 	}
 	return m
 }
@@ -126,6 +137,32 @@ func Compare(a, b Campaign, threshold float64) []Delta {
 		check("startup_s", sa.MeanStartup.Seconds(), sb.MeanStartup.Seconds())
 		check("overhead_x", sa.MeanOverhead, sb.MeanOverhead)
 	}
+
+	// A change in the compared surface itself is drift too: cells
+	// present in only one campaign (a baseline gaining its lossy
+	// section, a skipped experiment) must be declared, not silently
+	// excluded from the intersection.
+	presence := func(from map[string]Summary, other map[string]Summary, metric string, aSide bool) {
+		var ks []string
+		for k := range from {
+			if _, ok := other[k]; !ok {
+				ks = append(ks, k)
+			}
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			parts := strings.SplitN(k, "|", 2)
+			d := Delta{Service: parts[0], Workload: parts[1], Metric: metric}
+			if aSide {
+				d.A = from[k].MeanCompletion.Seconds()
+			} else {
+				d.B = from[k].MeanCompletion.Seconds()
+			}
+			out = append(out, d)
+		}
+	}
+	presence(ia, ib, "cell_removed", true)
+	presence(ib, ia, "cell_added", false)
 	return out
 }
 
@@ -144,10 +181,11 @@ func DeltaReport(deltas []Delta) string {
 	return b.String()
 }
 
-// RunFullCampaign executes the Fig. 6 benchmarks plus the idle
-// measurement for every service from the given vantage, producing a
-// persistable campaign. The timestamp is virtual (the simulation's
-// epoch) so campaigns are byte-identical given a seed.
+// RunFullCampaign executes the Fig. 6 benchmarks, the idle
+// measurement and the default loss sweep for every service from the
+// given vantage, producing a persistable campaign. The timestamp is
+// virtual (the simulation's epoch) so campaigns are byte-identical
+// given a seed.
 func RunFullCampaign(vantage Vantage, reps int, seed int64) Campaign {
 	c := Campaign{
 		Tool: ToolVersion, Vantage: vantage.Name,
@@ -158,6 +196,7 @@ func RunFullCampaign(vantage Vantage, reps int, seed int64) Campaign {
 		c.Fig6 = append(c.Fig6, fig6FromVantage(p, vantage, reps, seed))
 		c.Idle = append(c.Idle, RunIdle(p, seed))
 	}
+	c.Lossy = LossSweep(client.Profiles(), DefaultLossRates, DefaultLossBatch, vantage, reps, seed)
 	return c
 }
 

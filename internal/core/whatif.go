@@ -132,12 +132,21 @@ func CloudDriveDailyBackgroundMB(seed int64) float64 {
 	return r.IdleRateBps / 8 * 86400 / 1e6
 }
 
-// WhatIfStudies runs every counterfactual.
+// whatIfStudies lists every counterfactual. Each study builds its own
+// testbeds from the base seed alone, so the list is an index→work
+// mapping with no shared state — exactly the RunN contract.
+var whatIfStudies = []func(int64) WhatIfResult{
+	WhatIfCloudDrivePollingFixed,
+	WhatIfDropboxSmartCompression,
+	WhatIfMobileUplink,
+	WhatIfLossyPath,
+}
+
+// WhatIfStudies runs every counterfactual, fanned out over the shared
+// campaign worker budget like every other campaign layer; results
+// stay in declaration order regardless of worker count.
 func WhatIfStudies(seed int64) []WhatIfResult {
-	return []WhatIfResult{
-		WhatIfCloudDrivePollingFixed(seed),
-		WhatIfDropboxSmartCompression(seed),
-		WhatIfMobileUplink(seed),
-		WhatIfLossyPath(seed),
-	}
+	return RunN(len(whatIfStudies), CampaignWorkers, func(i int) WhatIfResult {
+		return whatIfStudies[i](seed)
+	})
 }

@@ -53,3 +53,26 @@ func TestWhatIfStudiesComplete(t *testing.T) {
 		t.Fatalf("studies = %d", got)
 	}
 }
+
+// TestWhatIfStudiesParallelEquivalence pins the RunN lift: the suite
+// must produce bit-identical results in declaration order at any
+// worker count — each study derives everything from the base seed.
+func TestWhatIfStudiesParallelEquivalence(t *testing.T) {
+	defer func(old int) { CampaignWorkers = old }(CampaignWorkers)
+
+	CampaignWorkers = 1
+	sequential := WhatIfStudies(77)
+	for _, workers := range []int{2, 8} {
+		CampaignWorkers = workers
+		got := WhatIfStudies(77)
+		if len(got) != len(sequential) {
+			t.Fatalf("workers=%d: %d studies vs %d sequential", workers, len(got), len(sequential))
+		}
+		for i := range got {
+			if got[i] != sequential[i] {
+				t.Errorf("workers=%d: study %d diverged\n parallel   %+v\n sequential %+v",
+					workers, i, got[i], sequential[i])
+			}
+		}
+	}
+}

@@ -58,7 +58,10 @@ type Network struct {
 	// LossRate is the per-segment loss probability on every path
 	// (0 disables loss). The transport reacts with Reno-style
 	// window halving and pays retransmissions; lossy-path scenarios
-	// set a few percent here.
+	// set a few percent here. The analytic engine samples the next
+	// loss position from the geometric run-length distribution this
+	// rate implies (one RNG draw per loss event); the per-round
+	// event loop (tcpsim.Dialer.ForceEventLoop) draws per burst.
 	LossRate float64
 }
 

@@ -14,9 +14,10 @@ import (
 // This file pins the closed-form transfer engine to the per-round
 // event loop it replaced: same records (after span expansion), same
 // timelines, same derived metrics, for every path shape the five
-// service profiles exercise — and, on lossy paths, the same RNG draw
-// order and retransmission records, since there both engines ARE the
-// event loop.
+// service profiles exercise. Clean paths are bit-identical per seed;
+// lossy paths are bit-identical under injected loss positions
+// (loss_equiv_test.go) and distributionally identical under the RNG
+// (the draw sequences necessarily differ between engines).
 
 // engineConfig mirrors one service data-center path from
 // cloud/services.go: geography (RTT), per-connection rate cap,
@@ -98,14 +99,15 @@ func replayScript(c *Conn, rng *rand.Rand) []time.Time {
 	return marks
 }
 
-// TestAnalyticMatchesEventLoop is the engine equivalence oracle:
-// random operation scripts over every profile-representative path,
-// loss-free and lossy, must leave both engines with identical flow
-// metadata, identical expanded packet records, identical timelines and
-// identical analyses — bit for bit.
+// TestAnalyticMatchesEventLoop is the clean-path engine equivalence
+// oracle: random operation scripts over every profile-representative
+// path must leave both engines with identical flow metadata, identical
+// expanded packet records, identical timelines and identical analyses
+// — bit for bit. (Lossy equivalence is pinned separately: exactly
+// under injected loss positions, distributionally under the RNG.)
 func TestAnalyticMatchesEventLoop(t *testing.T) {
 	for _, cfg := range engineConfigs {
-		for _, loss := range []float64{0, 0.02, 0.08} {
+		for _, loss := range []float64{0} {
 			for seed := int64(0); seed < 12; seed++ {
 				a, b, capA, capB := enginePair(cfg, seed+1, loss)
 				marksA := replayScript(a, rand.New(rand.NewSource(seed)))
@@ -224,17 +226,30 @@ func TestSteadyStateCollapsesToSpan(t *testing.T) {
 	}
 }
 
-// TestLossyPathKeepsEventLoop pins that a lossy transfer emits
-// per-round records (never spans): the RNG draw order per round is the
-// loss model's contract.
-func TestLossyPathKeepsEventLoop(t *testing.T) {
+// TestLossyPathUsesAnalyticEngine pins that a lossy transfer now runs
+// the closed-form engine: the clean runs between sampled losses
+// collapse into span records, and the record count is far below the
+// event loop's per-round output for the same transfer.
+func TestLossyPathUsesAnalyticEngine(t *testing.T) {
 	_, cap, d, server := testbed(zrhCoord(), 30e6, 0)
 	d.Net.LossRate = 0.02
 	c := d.Dial(server, "s", sim.Epoch, PlainTCP)
 	c.Send(8 << 20)
-	if got := cap.SpanCount(); got != 0 {
-		t.Fatalf("lossy transfer recorded %d span records, want 0", got)
+	if got := cap.SpanCount(); got == 0 {
+		t.Fatal("lossy transfer recorded no span records — clean runs between losses should collapse")
 	}
+
+	_, capB, dB, serverB := testbed(zrhCoord(), 30e6, 0)
+	dB.Net.LossRate = 0.02
+	dB.ForceEventLoop = true
+	cB := dB.Dial(serverB, "s", sim.Epoch, PlainTCP)
+	cB.Send(8 << 20)
+	if capB.SpanCount() != 0 {
+		t.Fatalf("event loop emitted %d span records, want 0", capB.SpanCount())
+	}
+	// Record-count comparisons between the two RNG-driven runs would
+	// compare different loss realizations; the deterministic record
+	// and draw reductions are pinned by TestAnalyticLossDrawReduction.
 }
 
 // TestKeepProbMatchesSeedLoop pins the memoised no-loss probability to

@@ -32,12 +32,22 @@
 // bit-identical because the span expands deterministically back into
 // the per-round records (see trace.Span).
 //
-// Paths with LossRate > 0 keep the per-round event loop: loss verdicts
-// consume the network RNG once per round, so the draw order — and with
-// it every retransmission record and halved window — stays exactly as
-// it always was. Dialer.ForceEventLoop drives loss-free transfers
-// through the same event loop; the equivalence tests and the benchsnap
-// transport micro use it as the reference engine.
+// Lossy paths (LossRate > 0) run the same closed-form engine: instead
+// of drawing a Bernoulli verdict per congestion round, the engine
+// inverse-transform samples the *position* of the next lost segment
+// (one geometric draw per loss event, see loss.go), emits the clean
+// run up to it with the closed-form schedule above, and replays the
+// recovery epoch — fast-retransmit record, extra RTT, Reno window
+// halving — exactly as the event loop does at that position. A lossy
+// transfer therefore costs O(losses) instead of O(rounds).
+//
+// Dialer.ForceEventLoop routes transfers through the per-round event
+// loop instead — the reference engine. On clean paths (and under
+// Dialer.InjectLossPositions, which pins the loss process to explicit
+// segment positions) the two engines are record-for-record identical;
+// on lossy paths their RNG draw sequences necessarily differ, so they
+// agree distributionally — both equivalences are pinned by the tests
+// in this package.
 //
 // Connections keep their own virtual timeline; all emitted packets are
 // timestamped on that timeline and merged in time order by the capture.
@@ -104,6 +114,21 @@ type Dialer struct {
 	// prefix products for the current loss rate; see keepProb.
 	lossKeepP float64
 	lossKeep  []float64
+
+	// Loss-process state shared by both engines (see loss.go).
+	// lossSeg is the coordinate: cumulative data segments offered to
+	// the loss process. lossNext is the sampled absolute position of
+	// the next loss (valid while lossNextOK and the rate still equals
+	// lossNextP). lossScript/lossCur hold injected loss positions;
+	// lossDraws counts RNG draws consumed by loss verdicts.
+	lossSeg      int64
+	lossNext     float64
+	lossNextOK   bool
+	lossNextP    float64
+	lossDraws    int64
+	lossScript   []int64
+	lossCur      int
+	lossScripted bool
 }
 
 // NewDialer returns a dialer for the given client host.
@@ -320,9 +345,9 @@ func (c *Conn) serTime(n int64) time.Duration {
 // upstream that is client time, for downstream server time (callers
 // add rtt/2 for delivery).
 //
-// Loss-free transfers run the closed-form engine; lossy paths (and
-// ForceEventLoop) run the per-round event loop, preserving the RNG
-// draw order and the fast-retransmit records exactly.
+// The closed-form engine is the default on clean and lossy paths
+// alike; ForceEventLoop routes the transfer through the per-round
+// reference engine instead.
 func (c *Conn) transfer(dir trace.Direction, n int64) time.Time {
 	if n < 0 {
 		panic(fmt.Sprintf("tcpsim: negative transfer %d", n))
@@ -330,14 +355,14 @@ func (c *Conn) transfer(dir trace.Direction, n int64) time.Time {
 	if n == 0 {
 		return c.now
 	}
-	if c.d.Net.LossRate > 0 || c.d.ForceEventLoop {
+	if c.d.ForceEventLoop {
 		return c.transferEventLoop(dir, c.wireBytes(n))
 	}
 	return c.transferAnalytic(dir, c.wireBytes(n))
 }
 
-// transferAnalytic is the closed-form engine for deterministic
-// (loss-free) transfers.
+// transferAnalytic is the closed-form engine, clean and lossy paths
+// alike.
 //
 // Slow start is a geometric schedule: bursts of cwnd, 2·cwnd, 4·cwnd,
 // ... bytes, one ACK-clocked round apart, until the window reaches the
@@ -349,65 +374,139 @@ func (c *Conn) transfer(dir trace.Direction, n int64) time.Time {
 //
 // The steady state transmits continuously at rateBps in BDP-sized
 // slices: k = ⌈remaining/bdp⌉ slices, k−1 full plus a final partial
-// one, each taking its serialization time. That whole phase is one
-// trace.Span record and one duration formula,
+// one, each taking its serialization time. The clean run up to the
+// next sampled loss position is one trace.Span record and one
+// duration formula,
 //
-//	(k−1)·ser(bdp) + ser(last),
+//	(j−1)·ser(bdp) + ser(last),
 //
 // which equals the event loop's slice-by-slice accumulation exactly
 // (iterated addition of a constant Duration is exact integer math).
+//
+// Loss costs O(losses), not O(rounds): the next loss position comes
+// from one geometric draw (see loss.go), the clean run up to it is
+// emitted in closed form, and the recovery epoch at the sampled
+// position — serialization of the lossy slice, one extra RTT, the
+// fast-retransmit record, Reno window halving — replays exactly what
+// the event loop does on a lossy round. Slow-start rounds are already
+// O(log n), so they take their verdicts round by round.
 func (c *Conn) transferAnalytic(dir trace.Direction, wireApp int64) time.Time {
 	cwnd := c.upCwnd
 	if dir == trace.Downstream {
 		cwnd = c.downCwnd
 	}
 	bdp := c.bdpBytes()
+	lossy := c.d.lossActive()
 
 	t := c.now
 	remaining := wireApp
 
-	// Slow-start phase: one doubling burst per round until the window
-	// fills the pipe or the bytes run out.
-	for remaining > 0 && (bdp == 0 || cwnd < bdp) {
-		burst := cwnd
-		if burst > remaining {
-			burst = remaining
-		}
-		c.emitData(t, dir, burst)
-		remaining -= burst
-		if remaining > 0 {
-			// Wait for the ACK clock before the next round.
-			round := c.rtt
-			if c.rateBps > 0 {
-				if ser := c.serTime(burst); ser > round {
-					round = ser
-				}
+	for remaining > 0 {
+		if bdp == 0 || cwnd < bdp {
+			// Slow-start round: one doubling burst per ACK clock.
+			burst := cwnd
+			if burst > remaining {
+				burst = remaining
 			}
-			t = t.Add(round)
-		} else if c.rateBps > 0 {
-			// Last burst: the final byte leaves after its own
-			// serialization time.
-			t = t.Add(c.serTime(burst))
+			c.emitData(t, dir, burst)
+			remaining -= burst
+			if remaining > 0 {
+				// Wait for the ACK clock before the next round.
+				round := c.rtt
+				if c.rateBps > 0 {
+					if ser := c.serTime(burst); ser > round {
+						round = ser
+					}
+				}
+				t = t.Add(round)
+			} else if c.rateBps > 0 {
+				// Last burst: the final byte leaves after its own
+				// serialization time.
+				t = t.Add(c.serTime(burst))
+			}
+			if lossy && c.d.roundLossy(int64(segments(burst))) {
+				t = t.Add(c.rtt)
+				c.emitRetransmit(t, dir)
+				cwnd /= 2
+				if cwnd < 2*MSS {
+					cwnd = 2 * MSS
+				}
+			} else {
+				cwnd *= 2
+			}
+			if bdp > 0 && cwnd > bdp {
+				cwnd = bdp
+			}
+			continue
 		}
-		cwnd *= 2
-		if bdp > 0 && cwnd > bdp {
-			cwnd = bdp
-		}
-	}
 
-	// Steady state: continuous transmission at the path rate, one span
-	// for the whole run of BDP-sized slices.
-	if remaining > 0 {
+		// Steady state: continuous transmission at the path rate in
+		// BDP-sized slices, k−1 full plus a final partial one.
 		k := (remaining + bdp - 1) / bdp
 		last := remaining - (k-1)*bdp
+		segsFull := int64(segments(bdp))
+		phaseSegs := (k-1)*segsFull + int64(segments(last))
 		serFull := c.serTime(bdp)
-		if k == 1 {
-			c.emitData(t, dir, last)
-		} else {
-			c.d.Sink.Record(trace.Span(t, c.flow, dir, trace.Flags{ACK: true},
-				int(k), bdp, last, serFull))
+
+		// Index of the first lossy slice; k means the whole phase is
+		// clean. All slices before the sampled position carry segsFull
+		// segments, so the index is a division away.
+		j := k
+		if lossy {
+			if next := c.d.nextLossPos(); next < float64(c.d.lossSeg)+float64(phaseSegs) {
+				j = (int64(next) - c.d.lossSeg) / segsFull
+				if j > k-1 {
+					j = k - 1 // the loss sits in the final partial slice
+				}
+			}
 		}
-		t = t.Add(time.Duration(k-1) * serFull).Add(c.serTime(last))
+
+		if j == k {
+			// Clean to the end of the transfer: one span for the whole
+			// run of slices.
+			if k == 1 {
+				c.emitData(t, dir, last)
+			} else {
+				c.d.Sink.Record(trace.Span(t, c.flow, dir, trace.Flags{ACK: true},
+					int(k), bdp, last, serFull))
+			}
+			t = t.Add(time.Duration(k-1) * serFull).Add(c.serTime(last))
+			if lossy {
+				c.d.lossAdvance(phaseSegs)
+			}
+			remaining = 0
+			break
+		}
+
+		// j clean full slices, then the lossy slice and its recovery.
+		if j > 0 {
+			if j == 1 {
+				c.emitData(t, dir, bdp)
+			} else {
+				c.d.Sink.Record(trace.Span(t, c.flow, dir, trace.Flags{ACK: true},
+					int(j), bdp, bdp, serFull))
+			}
+			t = t.Add(time.Duration(j) * serFull)
+			remaining -= j * bdp
+			c.d.lossAdvance(j * segsFull)
+		}
+		slice := bdp
+		if slice > remaining {
+			slice = remaining
+		}
+		c.emitData(t, dir, slice)
+		t = t.Add(c.serTime(slice))
+		remaining -= slice
+		c.d.lossAdvance(int64(segments(slice)))
+		c.d.lossRecovered()
+		// Fast retransmit: one extra RTT, window halves, the lost
+		// segment travels again.
+		t = t.Add(c.rtt)
+		c.emitRetransmit(t, dir)
+		cwnd /= 2
+		if cwnd < 2*MSS {
+			cwnd = 2 * MSS
+		}
 	}
 
 	if dir == trace.Upstream {
@@ -419,9 +518,11 @@ func (c *Conn) transferAnalytic(dir trace.Direction, wireApp int64) time.Time {
 }
 
 // transferEventLoop simulates the transfer one congestion-window round
-// at a time — the reference engine, and the only one consulted on
-// lossy paths: each round draws the network RNG for its loss verdict,
-// so collapsing rounds would change every downstream sample.
+// at a time — the reference engine behind Dialer.ForceEventLoop. On
+// lossy paths it draws one RNG verdict per round (the literal
+// Bernoulli process the analytic engine samples in closed form), so
+// the two engines agree distributionally but not draw for draw; under
+// injected loss positions both are deterministic and bit-identical.
 func (c *Conn) transferEventLoop(dir trace.Direction, wireApp int64) time.Time {
 	cwnd := c.upCwnd
 	if dir == trace.Downstream {
@@ -502,14 +603,29 @@ func (c *Conn) transferEventLoop(dir trace.Direction, wireApp int64) time.Time {
 }
 
 // lossEvent reports whether a burst of n bytes suffered at least one
-// segment loss, per the network's loss rate. The verdict compares one
-// RNG draw against P(no loss) = (1−p)^segs, memoised by keepProb.
+// segment loss — the event loop's per-round verdict. Under an
+// injected script the round is lossy iff it covers a scripted
+// position; otherwise the verdict compares one RNG draw against
+// P(no loss) = (1−p)^segs, memoised by keepProb. Either way the round
+// advances the loss coordinate both engines share (see loss.go).
 func (c *Conn) lossEvent(n int64) bool {
-	p := c.d.Net.LossRate
+	d := c.d
+	if d.lossScripted {
+		d.lossSeg += int64(segments(n))
+		hit := false
+		for d.lossCur < len(d.lossScript) && d.lossScript[d.lossCur] < d.lossSeg {
+			hit = true
+			d.lossCur++
+		}
+		return hit
+	}
+	p := d.Net.LossRate
 	if p <= 0 {
 		return false
 	}
-	return c.d.Net.RNG().Float64() >= c.d.keepProb(p, segments(n))
+	d.lossSeg += int64(segments(n))
+	d.lossDraws++
+	return d.Net.RNG().Float64() >= d.keepProb(p, segments(n))
 }
 
 // keepProb returns the no-loss probability (1−p)^segs exactly as the

@@ -13,7 +13,9 @@
 #     fails, UNLESS a committed BASELINE_RESET marker names the new
 #     baseline file. A sanctioned reset is then verified the other way
 #     around (`comparebench -expect-drift`): the marker must
-#     correspond to a real engine change, so a stale marker cannot
+#     correspond to a real engine change — moved metrics, or a change
+#     in the compared surface itself (cells added/removed, e.g. a
+#     campaign gaining its lossy section) — so a stale marker cannot
 #     linger and sanction some future silent reset.
 #
 #  2. HEAD drift: a snapshot of HEAD (pre-built, or freshly generated
