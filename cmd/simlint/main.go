@@ -1,0 +1,34 @@
+// Command simlint machine-enforces the simulation engine's
+// determinism contract. It bundles the four analyzers from
+// internal/analysis — walltime, rngdiscipline, mapiter and
+// goldendiscipline — behind the standard `go vet -vettool` protocol.
+//
+// Usage:
+//
+//	go build -o bin/simlint ./cmd/simlint
+//	go vet -vettool=bin/simlint ./...     # toolchain-driven
+//	bin/simlint ./...                     # standalone (re-execs go vet)
+//	scripts/lint.sh                       # the one-command entry point
+//
+// Findings print as file:line:col diagnostics tagged with the check
+// name; audited exceptions are annotated in-source with
+// `//simlint:allow <check>`. See internal/analysis/README.md for the
+// invariants each check enforces.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/goldendiscipline"
+	"repro/internal/analysis/mapiter"
+	"repro/internal/analysis/rngdiscipline"
+	"repro/internal/analysis/walltime"
+)
+
+func main() {
+	analysis.Main(
+		walltime.Analyzer,
+		rngdiscipline.Analyzer,
+		mapiter.Analyzer,
+		goldendiscipline.Analyzer,
+	)
+}

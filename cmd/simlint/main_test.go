@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsClean builds the vettool and runs it over the whole
+// module: the codebase must satisfy its own determinism contract,
+// with every exception carrying an in-source //simlint:allow audit.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the module")
+	}
+	bin := filepath.Join(t.TempDir(), "simlint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building simlint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = filepath.Join("..", "..")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("simlint found violations: %v\n%s", err, out)
+	}
+}

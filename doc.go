@@ -133,6 +133,17 @@
 // CI either way). scripts/bench.sh snapshots engine performance
 // (BENCH_<sha>.json, diffable with cmd/comparebench).
 //
+// The determinism contract is also machine-enforced: cmd/simlint
+// (scripts/lint.sh, or go vet -vettool) runs four custom analyzers —
+// walltime (no wall-clock reads in simulation packages),
+// rngdiscipline (all randomness from seeded sim.RNG streams; no
+// shared stream captured by scheduler cells), mapiter (no map
+// iteration order reaching traces, driver output or float
+// accumulation) and goldendiscipline (no hardcoded golden pins
+// outside internal/goldenfile) — over every package in CI. Audited
+// exceptions carry in-source `//simlint:allow <check>` directives;
+// internal/analysis/README.md documents each invariant.
+//
 // The benchmarks in bench_test.go regenerate every table and figure:
 //
 //	go test -bench=. -benchmem

@@ -1,0 +1,236 @@
+// Package analysis is simlint's static-analysis framework: a
+// stdlib-only reimplementation of the subset of
+// golang.org/x/tools/go/analysis that the repository's determinism
+// lints need, plus the `go vet -vettool` unit-checker protocol that
+// lets cmd/simlint slot into the standard toolchain.
+//
+// Why not depend on x/tools? The build environment for this
+// repository is hermetic (stdlib only), and the four simlint checks
+// need no cross-package facts — every invariant they enforce is
+// visible in a single type-checked package. The framework therefore
+// keeps the x/tools shape (Analyzer, Pass, Reportf, analysistest-style
+// fixtures) so the analyzers could be ported to the real framework
+// mechanically, while implementing only the slice that is load-bearing
+// here: per-package syntax+types analysis, `// want` fixture tests,
+// and the vet tool protocol (see unitchecker.go).
+//
+// The four analyzers (subpackages walltime, rngdiscipline, mapiter
+// and goldendiscipline) machine-enforce the engine's determinism
+// contract; README.md in this directory documents each invariant and
+// the `//simlint:allow <check>` escape hatch.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the import-path root of this repository. The
+// analyzers' package allowlists are expressed against it.
+const ModulePath = "repro"
+
+// An Analyzer describes one simlint check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer (minus facts and
+// dependencies, which simlint does not need).
+type Analyzer struct {
+	// Name identifies the check. It is the token accepted by the
+	// `//simlint:allow <name>` suppression directive.
+	Name string
+	// Doc is the one-paragraph description shown by documentation.
+	Doc string
+	// Run executes the check against one type-checked package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Check   string // Analyzer.Name
+	Message string
+}
+
+// Reportf records a diagnostic at pos. Diagnostics on a line carrying
+// (or immediately following) a matching `//simlint:allow` directive
+// are dropped by the driver.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Check: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// RunPackage runs the analyzers over one type-checked package and
+// returns the surviving diagnostics in position order. It applies the
+// `//simlint:allow` suppression directives found in the package's
+// comments; see parseAllows for the directive syntax.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows := parseAllows(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report: func(d Diagnostic) {
+				if !allows.suppresses(fset, d) {
+					diags = append(diags, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Check < diags[j].Check
+	})
+	return diags, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// populated, ready to pass to types.Config.Check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// PkgPath returns pkg's import path with go test's variant decoration
+// stripped: "p [p.test]" and "p_test [p.test]" both normalise to "p",
+// so allowlists written against source import paths also cover the
+// package's test builds.
+func PkgPath(pkg *types.Package) string {
+	if pkg == nil {
+		return ""
+	}
+	path := pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, "_test")
+	return path
+}
+
+// ObjPkgPath returns the normalised import path of the package that
+// declares obj, or "" for builtins and universe-scope objects.
+func ObjPkgPath(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	return PkgPath(obj.Pkg())
+}
+
+// IsTestFile reports whether the file was parsed from a _test.go
+// source file.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// NamedPkgPath returns the normalised import path of the package
+// declaring t's (pointer-dereferenced) named type, or "" when t is
+// not a named type.
+func NamedPkgPath(t types.Type) (path, name string) {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	return ObjPkgPath(obj), obj.Name()
+}
+
+// CalleeObj resolves the object a call expression's function operand
+// names: package functions, methods and generic instantiations all
+// resolve; indirect calls through function values do not.
+func CalleeObj(info *types.Info, fun ast.Expr) types.Object {
+	for {
+		switch e := fun.(type) {
+		case *ast.ParenExpr:
+			fun = e.X
+		case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+			fun = e.X
+		case *ast.IndexListExpr:
+			fun = e.X
+		case *ast.Ident:
+			return info.Uses[e]
+		case *ast.SelectorExpr:
+			return info.Uses[e.Sel]
+		default:
+			return nil
+		}
+	}
+}
+
+// allowIndex records, per file and line, the set of check names a
+// `//simlint:allow` directive suppresses.
+type allowIndex map[string]map[int]map[string]bool
+
+// parseAllows scans file comments for suppression directives of the
+// form
+//
+//	//simlint:allow <check> [<check>...] [-- reason]
+//
+// A directive suppresses matching diagnostics reported on its own
+// line (trailing comment) or on the line directly below it
+// (standalone comment above the audited statement).
+func parseAllows(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//simlint:allow")
+				if !ok {
+					continue
+				}
+				text, _, _ = strings.Cut(text, "--")
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				for _, check := range strings.Fields(text) {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if lines[line] == nil {
+							lines[line] = make(map[string]bool)
+						}
+						lines[line][check] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx allowIndex) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	return idx[pos.Filename][pos.Line][d.Check]
+}

@@ -1,0 +1,223 @@
+// Package analysistest runs simlint analyzers against fixture
+// packages and checks their diagnostics against `// want` comments —
+// the golang.org/x/tools/go/analysis/analysistest idiom, rebuilt on
+// the standard library.
+//
+// Fixtures live under the calling test's testdata/src directory, laid
+// out by import path: analysistest.Run(t, "repro/internal/foo", A)
+// loads every .go file in testdata/src/repro/internal/foo as one
+// package, type-checks it (imports of other fixture paths resolve
+// inside testdata/src; everything else resolves from the standard
+// library's source), runs A, and then matches each surviving
+// diagnostic against the `// want "regexp"` comment on its line:
+//
+//	now := time.Now() // want `wall-clock time\.Now`
+//
+// A line may carry several quoted patterns for several diagnostics.
+// Diagnostics with no matching want, and wants with no matching
+// diagnostic, fail the test. Files named *_test.go inside a fixture
+// are loaded as in-package test files, so test-only checks can be
+// exercised too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the fixture package at testdata/src/<path>, applies the
+// analyzers, and reports any mismatch between diagnostics and the
+// fixture's want comments as test errors.
+func Run(t *testing.T, path string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	ld := newLoader("testdata/src")
+	pkg, files, info, err := ld.loadFixture(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, err := analysis.RunPackage(ld.fset, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", path, err)
+	}
+	wants := parseWants(t, ld.fset, files)
+
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		if !wants.match(pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", rel(pos), d.Message, d.Check)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s:%d: no diagnostic matching %q", rel(token.Position{Filename: w.file}), w.line, w.re)
+	}
+}
+
+func rel(pos token.Position) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, pos.Filename); err == nil {
+			pos.Filename = r
+		}
+	}
+	if pos.Line > 0 {
+		return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	}
+	return pos.Filename
+}
+
+// loader type-checks fixture packages, resolving fixture-local import
+// paths from the testdata tree and everything else from the standard
+// library sources.
+type loader struct {
+	base   string
+	fset   *token.FileSet
+	pkgs   map[string]*types.Package
+	stdlib types.Importer
+}
+
+func newLoader(base string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		base:   base,
+		fset:   fset,
+		pkgs:   make(map[string]*types.Package),
+		stdlib: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer over the fixture tree.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(ld.base, filepath.FromSlash(path)); dirExists(dir) {
+		pkg, _, _, err := ld.loadFixture(path)
+		return pkg, err
+	}
+	return ld.stdlib.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// loadFixture parses and type-checks the fixture package stored at
+// base/<path>, returning its syntax and type information.
+func (ld *loader) loadFixture(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(ld.base, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	cfg := types.Config{Importer: ld}
+	pkg, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ld.pkgs[path] = pkg
+	return pkg, files, info, nil
+}
+
+// want is one expectation: a regexp that some diagnostic on file:line
+// must match.
+type want struct {
+	file    string
+	line    int
+	re      string
+	rx      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+// parseWants extracts `// want "re" ["re" ...]` expectations from the
+// fixture's comments. Both interpreted and raw quoted strings are
+// accepted.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) *wantSet {
+	t.Helper()
+	ws := &wantSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for {
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						break
+					}
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern %q", pos.Filename, pos.Line, rest)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					ws.wants = append(ws.wants, &want{
+						file: pos.Filename, line: pos.Line, re: pat, rx: rx,
+					})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// match consumes the first unmatched expectation on file:line whose
+// regexp matches the message.
+func (ws *wantSet) match(file string, line int, message string) bool {
+	for _, w := range ws.wants {
+		if !w.matched && w.file == file && w.line == line && w.rx.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}

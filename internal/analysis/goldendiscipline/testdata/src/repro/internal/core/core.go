@@ -1,0 +1,14 @@
+// Package core is a fixture stub of the campaign engine: a runner
+// whose summary fields count as engine metrics.
+package core
+
+type Summary struct {
+	Reps         int
+	Connections  int
+	TotalTraffic int64
+	Overhead     float64
+}
+
+func RunCampaign(reps int) Summary {
+	return Summary{Reps: reps, Connections: reps, TotalTraffic: int64(reps) * 1000, Overhead: 1.1}
+}

@@ -1,0 +1,3 @@
+// Package foo is a goldendiscipline fixture: its test file pins
+// engine metrics in the ways the check must and must not flag.
+package foo

@@ -1,0 +1,50 @@
+package foo
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+const wantReps = 6
+
+func TestPinnedMetric(t *testing.T) {
+	s := core.RunCampaign(6)
+	if s.Connections != 84 { // want `hardcoded numeric pin against engine metric core\.Summary\.Connections`
+		t.Fatalf("connections = %d", s.Connections)
+	}
+	if 6000 != s.TotalTraffic { // want `core\.Summary\.TotalTraffic`
+		t.Errorf("traffic = %d", s.TotalTraffic)
+	}
+}
+
+func TestSymbolicAndStructural(t *testing.T) {
+	s := core.RunCampaign(wantReps)
+	if s.Reps != wantReps { // named constant: symbolic, tracks the code
+		t.Fatal("reps")
+	}
+	if s.Connections != 1 { // 0 and 1 are structural, not pins
+		t.Fatal("connections")
+	}
+	if s.Overhead < 1.0 || s.Overhead > 1.3 { // range assertion, not a pin
+		t.Fatal("overhead")
+	}
+}
+
+// TestHandBuiltInputExempt never runs the engine: the expected value
+// is closed-form arithmetic over a literal input, which a golden
+// refresh cannot move.
+func TestHandBuiltInputExempt(t *testing.T) {
+	s := core.Summary{Connections: 84}
+	if s.Connections != 84 {
+		t.Fatal("connections")
+	}
+}
+
+func TestAudited(t *testing.T) {
+	s := core.RunCampaign(3)
+	//simlint:allow goldendiscipline -- fixture: structural count audited
+	if s.Connections != 3 {
+		t.Fatal("connections")
+	}
+}

@@ -1,0 +1,177 @@
+// Package mapiter flags map iteration whose order leaks into
+// observable output — the classic silent determinism killer.
+//
+// Go randomises map iteration order per run. That is harmless while
+// the loop body is order-independent (building another map, summing
+// integers, collecting keys for a later sort), but the moment the
+// body reaches an observable sink the program's output depends on the
+// iteration order of this particular run:
+//
+//   - trace.Sink.Record / OpenFlow — packets recorded from a map loop
+//     land in the trace in random order, so analyses differ run to run;
+//   - fmt print/fprint family and csv.Writer — drivers whose stdout
+//     and CSV artifacts are diffed byte-for-byte (cloudbench at
+//     -parallel 1 vs 8) emit shuffled rows;
+//   - testing.T/B log and error methods — test failure output becomes
+//     unreproducible, and -count=2 runs disagree about first failure;
+//   - floating-point accumulation into a variable (or float-valued
+//     map/slice cell) declared outside the loop — float addition is
+//     not associative, so the sum's low bits depend on visit order,
+//     which golden pins then surface as flaky drift.
+//
+// The fix is always the same: extract the keys, sort them, and range
+// over the sorted slice. Loops whose order-dependence is deliberate
+// and audited carry `//simlint:allow mapiter`.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flag range-over-map loops whose body reaches an observable sink (trace records, fmt/csv " +
+		"output, test logs, float accumulation) without sorted iteration",
+	Run: run,
+}
+
+var tracePkg = analysis.ModulePath + "/internal/trace"
+
+// sinkMethods lists, per declaring package, the callee names that make
+// iteration order observable.
+var sinkMethods = map[string]map[string]bool{
+	tracePkg:       {"Record": true, "OpenFlow": true},
+	"encoding/csv": {"Write": true, "WriteAll": true},
+	"testing": {
+		"Error": true, "Errorf": true,
+		"Fatal": true, "Fatalf": true,
+		"Log": true, "Logf": true,
+		"Skip": true, "Skipf": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findSink(pass, rs); sink != "" {
+				pass.Reportf(rs.For,
+					"map iteration order reaches observable sink (%s): extract and sort the keys, "+
+						"then range over the sorted slice", sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findSink returns a description of the first observable sink the
+// range body reaches, or "".
+func findSink(pass *analysis.Pass, rs *ast.RangeStmt) string {
+	var sink string
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if s := callSink(pass, n); s != "" {
+				sink = s
+				return false
+			}
+		case *ast.AssignStmt:
+			if s := floatAccumulation(pass, n, rs); s != "" {
+				sink = s
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// callSink classifies a call as an observable sink.
+func callSink(pass *analysis.Pass, call *ast.CallExpr) string {
+	obj := analysis.CalleeObj(pass.TypesInfo, call.Fun)
+	if obj == nil {
+		return ""
+	}
+	pkg, name := analysis.ObjPkgPath(obj), obj.Name()
+	if pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+		return "fmt." + name
+	}
+	if sinkMethods[pkg][name] {
+		switch pkg {
+		case tracePkg:
+			return "trace." + name
+		case "encoding/csv":
+			return "csv.Writer." + name
+		default:
+			return "testing." + name
+		}
+	}
+	return ""
+}
+
+// floatAccumulation reports compound assignments (+=, -=, *=, /=)
+// that fold floating-point values into storage living outside the
+// loop: non-associative accumulation makes the low bits order-
+// dependent.
+func floatAccumulation(pass *analysis.Pass, as *ast.AssignStmt, rs *ast.RangeStmt) string {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return ""
+	}
+	if len(as.Lhs) != 1 {
+		return ""
+	}
+	lhs := as.Lhs[0]
+	t := pass.TypesInfo.TypeOf(lhs)
+	if t == nil {
+		return ""
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return ""
+	}
+	if root := rootObj(pass, lhs); root != nil && root.Pos() >= rs.Pos() && root.Pos() <= rs.End() {
+		return "" // accumulator scoped to the loop body: order can't escape
+	}
+	return "floating-point accumulation (non-associative: sum depends on visit order)"
+}
+
+// rootObj resolves the leftmost identifier an lvalue hangs off.
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

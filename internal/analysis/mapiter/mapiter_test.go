@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, "repro/internal/foo", mapiter.Analyzer)
+}

@@ -1,0 +1,81 @@
+// Package foo is a mapiter fixture: map-range loops whose bodies do
+// and do not reach observable sinks.
+package foo
+
+import (
+	"encoding/csv"
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+func printAll(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches observable sink \(fmt\.Println\)`
+		fmt.Println(k, v)
+	}
+}
+
+func recordAll(c *trace.Capture, m map[string]trace.Packet) {
+	for _, p := range m { // want `observable sink \(trace\.Record\)`
+		c.Record(p)
+	}
+}
+
+func writeRows(w *csv.Writer, m map[string][]string) {
+	for _, row := range m { // want `observable sink \(csv\.Writer\.Write\)`
+		w.Write(row)
+	}
+}
+
+func total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `floating-point accumulation`
+		sum += v
+	}
+	return sum
+}
+
+// intTotal accumulates integers: associative, order cannot leak.
+func intTotal(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// loopLocal accumulates into a variable scoped to the body: the
+// order-dependent bits never escape an iteration.
+func loopLocal(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		if s > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// sortedKeys is the sanctioned pattern: collect, sort, then emit.
+func sortedKeys(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+func audited(m map[string]int) {
+	//simlint:allow mapiter -- fixture: order-independence audited by hand
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

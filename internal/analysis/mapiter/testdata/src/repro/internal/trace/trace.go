@@ -1,0 +1,18 @@
+// Package trace is a fixture stub of the trace sink: the two
+// recording methods mapiter treats as observable sinks.
+package trace
+
+type FlowID int
+
+type FlowKey struct{ ClientPort, ServerPort int }
+
+type Packet struct {
+	Flow FlowID
+	Wire int64
+}
+
+type Capture struct{ packets []Packet }
+
+func (c *Capture) Record(p Packet) { c.packets = append(c.packets, p) }
+
+func (c *Capture) OpenFlow(k FlowKey, serverName string) FlowID { return FlowID(len(c.packets)) }

@@ -1,0 +1,18 @@
+package rngdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rngdiscipline"
+)
+
+func TestRNGDiscipline(t *testing.T) {
+	analysistest.Run(t, "repro/internal/foo", rngdiscipline.Analyzer)
+}
+
+// TestSimPackageExempt proves internal/sim itself may import and wrap
+// math/rand: the stub does both and carries no wants.
+func TestSimPackageExempt(t *testing.T) {
+	analysistest.Run(t, "repro/internal/sim", rngdiscipline.Analyzer)
+}

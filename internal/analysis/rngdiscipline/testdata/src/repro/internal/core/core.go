@@ -1,0 +1,17 @@
+// Package core is a fixture stub of the experiment scheduler: the
+// entry points rngdiscipline inspects closures passed into.
+package core
+
+func RunN[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	for i := range out {
+		out[i] = fn(i)
+	}
+	return out
+}
+
+func RunEach(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

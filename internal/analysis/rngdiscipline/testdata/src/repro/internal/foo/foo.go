@@ -1,0 +1,51 @@
+// Package foo is an rngdiscipline fixture: a simulation package whose
+// randomness must flow from sim.RNG.
+package foo
+
+import (
+	crand "crypto/rand" // want `crypto/rand import: simulated randomness must be deterministic`
+	"math/rand"         // want `math/rand import outside internal/sim`
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func entropy() []byte {
+	b := make([]byte, 8)
+	crand.Read(b)
+	rand.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] }) // want `auto-seeded global rand\.Shuffle`
+	return b
+}
+
+// sharedStream captures one *sim.RNG across scheduler cells — the
+// draws land in scheduling order, breaking worker-count invariance.
+func sharedStream(rng *sim.RNG) []float64 {
+	return core.RunN(4, 2, func(i int) float64 {
+		return rng.Float64() // want `closure passed to core\.RunN captures shared \*sim\.RNG "rng"`
+	})
+}
+
+func sharedStreamEach(rng *sim.RNG) {
+	sink := make([]float64, 4)
+	core.RunEach(4, 2, func(i int) {
+		sink[i] = rng.Float64() // want `closure passed to core\.RunEach captures shared \*sim\.RNG "rng"`
+	})
+}
+
+// forkInsideCell still reads the shared stream pointer from inside
+// the cell: the rule is conservative and flags any captured *sim.RNG,
+// fork the streams before the fan-out instead.
+func forkInsideCell(rng *sim.RNG) []float64 {
+	return core.RunN(4, 2, func(i int) float64 {
+		cell := rng.Fork(uint64(i)) // want `captures shared \*sim\.RNG "rng"`
+		return cell.Float64()
+	})
+}
+
+// cellLocal declares its RNG inside the cell: fine.
+func cellLocal() []float64 {
+	return core.RunN(4, 2, func(i int) float64 {
+		cell := sim.NewRNG(int64(i))
+		return cell.Float64()
+	})
+}

@@ -1,0 +1,28 @@
+package foo
+
+// Test files may import math/rand for seeded scratch randomness, but
+// must not draw from the auto-seeded global source.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeededScratchIsFine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if rng.Intn(10) < 0 {
+		t.Fatal("impossible")
+	}
+}
+
+func TestGlobalDrawsFlagged(t *testing.T) {
+	if rand.Intn(10) < 0 { // want `auto-seeded global rand\.Intn`
+		t.Fatal("impossible")
+	}
+	_ = rand.Perm(4) // want `auto-seeded global rand\.Perm`
+}
+
+func TestAuditedGlobalDraw(t *testing.T) {
+	//simlint:allow rngdiscipline -- fixture: audited draw
+	_ = rand.Int()
+}

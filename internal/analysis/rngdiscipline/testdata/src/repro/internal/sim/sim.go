@@ -1,0 +1,15 @@
+// Package sim is a fixture stub of the repository's virtual-time
+// kernel: just enough surface for the rngdiscipline fixtures to
+// type-check. As the real internal/sim, it may import math/rand.
+package sim
+
+import "math/rand"
+
+// RNG is the deterministic random stream fixture.
+type RNG struct{ r *rand.Rand }
+
+func NewRNG(seed int64) *RNG { return &RNG{r: rand.New(rand.NewSource(seed))} }
+
+func (g *RNG) Fork(i uint64) *RNG { return NewRNG(int64(i)) }
+
+func (g *RNG) Float64() float64 { return g.r.Float64() }

@@ -1,0 +1,222 @@
+// This file implements the `go vet -vettool` unit-checker protocol —
+// the same wire contract as golang.org/x/tools/go/analysis/unitchecker,
+// reimplemented on the stdlib. cmd/go drives a vet tool as follows:
+//
+//  1. `tool -V=full` — print an identity line ("name version ...")
+//     that cmd/go folds into its build cache key, so editing the tool
+//     invalidates cached vet results.
+//  2. `tool -flags` — print a JSON description of the analyzer flags
+//     the tool accepts (simlint accepts none: every check always runs).
+//  3. `tool <unit>.cfg` — analyse one compilation unit. The cfg file
+//     is JSON describing the package: its Go files, the import map,
+//     and the export-data file of every dependency. The tool
+//     type-checks the unit against that export data, runs the
+//     analyzers, prints findings as "file:line:col: message" on
+//     stderr, writes the (for simlint, empty) facts file cmd/go asked
+//     for, and exits non-zero iff there were findings.
+//
+// Because the protocol feeds us compiler export data for every
+// import, a unit check never re-type-checks dependencies — running
+// the whole suite over ./... costs well under a second warm.
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON schema cmd/go writes for vet tools (the
+// fields simlint consumes; unknown fields are ignored by the decoder).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vet tool built from this framework:
+// cmd/simlint calls it with the four determinism analyzers. Invoked
+// by cmd/go it speaks the unit-checker protocol above; invoked by a
+// human with package patterns (or nothing, meaning ./...) it re-execs
+// itself under `go vet -vettool` so both entry points share one code
+// path.
+func Main(analyzers ...*Analyzer) {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags: every check always runs, and
+			// suppression happens in-source via //simlint:allow.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		code, err := checkUnit(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion emits the identity line cmd/go hashes into its cache
+// key. The buildID term is a digest of the executable itself, so a
+// rebuilt tool re-vets everything.
+func printVersion() {
+	name := os.Args[0]
+	h := sha256.New()
+	if f, err := os.Open(name); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel simlint buildID=%02x\n", name, h.Sum(nil)[:16])
+}
+
+// standalone runs the suite over package patterns by re-invoking the
+// go command with this executable as the vet tool.
+func standalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if exit, ok := err.(*exec.ExitError); ok {
+			return exit.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// checkUnit analyses one compilation unit described by a cfg file and
+// returns the process exit code: 0 clean, 2 findings.
+func checkUnit(cfgFile string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("%s: %v", cfgFile, err)
+	}
+	// cmd/go expects the facts file regardless of outcome. simlint's
+	// analyzers exchange no facts, so a fixed marker suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("simlint facts v1 (none)\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	// Units vetted only for their facts, and the synthesised test-main
+	// package, carry nothing the determinism checks apply to.
+	if cfg.VetxOnly || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := typecheckUnit(&cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+	diags, err := RunPackage(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", relPosition(fset, d.Pos), d.Message, d.Check)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// typecheckUnit type-checks the unit against the export data cmd/go
+// supplied for its imports.
+func typecheckUnit(cfg *vetConfig, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compiled := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("unresolvable import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compiled.Import(path)
+	})
+	tc := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// relPosition renders a diagnostic position relative to the working
+// directory when possible, matching go vet's own output style.
+func relPosition(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
+		}
+	}
+	return p.String()
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

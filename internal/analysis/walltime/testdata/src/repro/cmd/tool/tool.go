@@ -1,0 +1,11 @@
+// Package tool is a walltime fixture for the cmd/ allowlist: drivers
+// may time themselves with the real clock.
+package tool
+
+import "time"
+
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,32 @@
+// Package foo is a walltime fixture: a simulation package that must
+// not read the wall clock.
+package foo
+
+import "time"
+
+func bad(t0 time.Time) time.Duration {
+	now := time.Now()         // want `wall-clock time\.Now in simulation package: use sim\.Clock\.Now`
+	time.Sleep(time.Second)   // want `wall-clock time\.Sleep`
+	<-time.After(time.Second) // want `wall-clock time\.After`
+	_ = time.Since(t0)        // want `wall-clock time\.Since`
+	return now.Sub(t0)
+}
+
+// Methods on time.Time are pure arithmetic, not wall-clock reads.
+func methodsFine(t0, t1 time.Time) bool {
+	return t1.After(t0) && t0.Before(t1) && !t0.Add(time.Second).Equal(t1)
+}
+
+// Constructors and constants are fine too.
+func valuesFine() time.Time {
+	return time.Date(2013, time.October, 23, 0, 0, 0, 0, time.UTC)
+}
+
+func audited() time.Time {
+	//simlint:allow walltime -- fixture: audited wall-clock read
+	return time.Now()
+}
+
+func auditedTrailing() time.Time {
+	return time.Now() //simlint:allow walltime -- fixture: trailing directive
+}

@@ -1,0 +1,18 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "repro/internal/foo", walltime.Analyzer)
+}
+
+// TestAllowlistedPackage proves cmd/ packages may use the wall clock:
+// the fixture calls time.Now and time.Since and carries no wants.
+func TestAllowlistedPackage(t *testing.T) {
+	analysistest.Run(t, "repro/cmd/tool", walltime.Analyzer)
+}

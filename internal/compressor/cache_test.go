@@ -2,6 +2,7 @@ package compressor
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -27,7 +28,14 @@ func contents(t *testing.T) map[string][]byte {
 // invisible: repeated calls — cold, warm, and after mutation of an
 // unrelated buffer — return exactly the uncached DEFLATE count.
 func TestTransmitSizeCacheExact(t *testing.T) {
-	for name, data := range contents(t) {
+	all := contents(t)
+	names := make([]string, 0, len(all))
+	for name := range all {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data := all[name]
 		want := countDeflate(data)
 		for i := 0; i < 3; i++ {
 			if got := TransmitSize(Always, data); got != want {

@@ -84,6 +84,10 @@ func DetectCapabilitiesAll(profiles []client.Profile, seed int64) map[string]Cap
 	return out
 }
 
+// fallbackRTT is the conservative estimate estimateRTT returns when
+// the capture holds no matching handshake to measure.
+const fallbackRTT = 100 * time.Millisecond
+
 // estimateRTT recovers the path RTT from the TCP handshake of a flow —
 // the sniffer's view (SYN to SYN-ACK), needing no model internals.
 func estimateRTT(cap *trace.Capture, f trace.FlowFilter) time.Duration {
@@ -98,7 +102,7 @@ func estimateRTT(cap *trace.Capture, f trace.FlowFilter) time.Duration {
 			}
 		}
 	}
-	return 100 * time.Millisecond // conservative fallback
+	return fallbackRTT
 }
 
 // DetectChunking uploads one large file and infers the chunking

@@ -77,10 +77,14 @@ func TestLegacyVsPCGStructuralEquivalence(t *testing.T) {
 				t.Errorf("%s %s seed=%d: connections %d (pcg) vs %d (legacy)",
 					p.Service, batch, seed, pcg.Connections, leg.Connections)
 			}
-			for name, pair := range map[string][2]float64{
-				"TotalTraffic": {float64(pcg.TotalTraffic), float64(leg.TotalTraffic)},
-				"StorageUp":    {float64(pcg.StorageUp), float64(leg.StorageUp)},
+			for _, v := range []struct {
+				name string
+				pair [2]float64
+			}{
+				{"TotalTraffic", [2]float64{float64(pcg.TotalTraffic), float64(leg.TotalTraffic)}},
+				{"StorageUp", [2]float64{float64(pcg.StorageUp), float64(leg.StorageUp)}},
 			} {
+				name, pair := v.name, v.pair
 				if pair[0] <= 0 || pair[1] <= 0 {
 					t.Errorf("%s %s seed=%d: %s not populated (pcg %v, legacy %v)",
 						p.Service, batch, seed, name, pair[0], pair[1])
@@ -106,10 +110,14 @@ func TestLegacyVsPCGStructuralEquivalence(t *testing.T) {
 						pcg.TotalTraffic, pcg.StorageUp, leg.TotalTraffic, leg.StorageUp)
 				}
 			}
-			for name, pair := range map[string][2]time.Duration{
-				"Startup":    {pcg.Startup, leg.Startup},
-				"Completion": {pcg.Completion, leg.Completion},
+			for _, v := range []struct {
+				name string
+				pair [2]time.Duration
+			}{
+				{"Startup", [2]time.Duration{pcg.Startup, leg.Startup}},
+				{"Completion", [2]time.Duration{pcg.Completion, leg.Completion}},
 			} {
+				name, pair := v.name, v.pair
 				if pair[0] <= 0 || pair[1] <= 0 {
 					t.Errorf("%s %s seed=%d: %s not populated", p.Service, batch, seed, name)
 				}

@@ -69,9 +69,10 @@ func TestSummarizeEmptyPanics(t *testing.T) {
 }
 
 func TestRunCampaignDispersion(t *testing.T) {
-	s := RunCampaign(client.Wuala(), workload.Batch{Count: 1, Size: 100_000, Kind: workload.Binary}, 6, 3)
-	if s.Reps != 6 {
-		t.Fatalf("reps = %d", s.Reps)
+	const reps = 6
+	s := RunCampaign(client.Wuala(), workload.Batch{Count: 1, Size: 100_000, Kind: workload.Binary}, reps, 3)
+	if s.Reps != reps {
+		t.Fatalf("reps = %d, want %d", s.Reps, reps)
 	}
 	if s.StdCompletion <= 0 {
 		t.Fatal("repetitions show no dispersion; jitter is not applied")
@@ -333,7 +334,7 @@ func TestEstimateRTTFromHandshake(t *testing.T) {
 	}
 	// Fallback path: no SYNs matching the filter.
 	none := estimateRTT(tb.Cap, func(trace.FlowInfo) bool { return false })
-	if none != 100*time.Millisecond {
-		t.Fatalf("fallback RTT = %v", none)
+	if none != fallbackRTT {
+		t.Fatalf("fallback RTT = %v, want %v", none, fallbackRTT)
 	}
 }

@@ -54,16 +54,19 @@ func TestAnalyzeProtocolsSect31(t *testing.T) {
 		}
 		return diff <= want/4
 	}
-	wantPoll := map[string]time.Duration{
-		"dropbox":     time.Minute,
-		"skydrive":    time.Minute,
-		"wuala":       5 * time.Minute,
-		"googledrive": 40 * time.Second,
-		"clouddrive":  15 * time.Second,
+	wantPoll := []struct {
+		svc  string
+		want time.Duration
+	}{
+		{"dropbox", time.Minute},
+		{"skydrive", time.Minute},
+		{"wuala", 5 * time.Minute},
+		{"googledrive", 40 * time.Second},
+		{"clouddrive", 15 * time.Second},
 	}
-	for svc, want := range wantPoll {
-		if got := reports[svc].PollInterval; !within(got, want) {
-			t.Errorf("%s poll interval = %v, want ~%v", svc, got, want)
+	for _, w := range wantPoll {
+		if got := reports[w.svc].PollInterval; !within(got, w.want) {
+			t.Errorf("%s poll interval = %v, want ~%v", w.svc, got, w.want)
 		}
 	}
 

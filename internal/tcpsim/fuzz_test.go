@@ -1,0 +1,154 @@
+package tcpsim
+
+// Fuzz targets for the geometric loss-position sampler (loss.go) —
+// the analytic engine's replacement for per-round Bernoulli draws.
+// The invariants under fuzz are the ones the equivalence suite pins
+// pointwise: sampled positions advance strictly and never fall behind
+// the loss coordinate, p >= 1 loses every round, scripted mode never
+// consults the RNG, and the whole process replays bit-identically
+// from the same seed.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+func FuzzLossGap(f *testing.F) {
+	f.Add(0.5, 0.02)
+	f.Add(0.0, 0.5)
+	f.Add(1e-300, 1e-12)
+	f.Add(0.999999, 0.999999)
+	f.Add(0.25, 1.0)
+	f.Fuzz(func(t *testing.T, u, p float64) {
+		if math.IsNaN(u) || math.IsNaN(p) || u < 0 || u >= 1 || p < 0 || p > 1.5 {
+			t.Skip("outside the sampler's input domain")
+		}
+		g := lossGap(u, p)
+		if math.IsNaN(g) {
+			t.Fatalf("lossGap(%v, %v) = NaN", u, p)
+		}
+		if g < 0 {
+			t.Fatalf("lossGap(%v, %v) = %v, want >= 0", u, p, g)
+		}
+		if p >= 1 && g != 0 {
+			t.Fatalf("lossGap(%v, %v) = %v, want 0: certain loss takes the next segment", u, p, g)
+		}
+		if !math.IsInf(g, 1) && g != math.Floor(g) {
+			t.Fatalf("lossGap(%v, %v) = %v, want an integer gap", u, p, g)
+		}
+		// The inverse transform is nonincreasing in u: a smaller
+		// uniform draw pushes the loss further out.
+		if u2 := u / 2; u2 < u {
+			if g2 := lossGap(u2, p); g2 < g {
+				t.Fatalf("lossGap not monotone: u=%v gives %v but u=%v gives %v", u, g, u2, g2)
+			}
+		}
+	})
+}
+
+// lossDialer builds the minimal dialer the loss process needs: a
+// network for the RNG and the rate; no traffic is simulated.
+func lossDialer(seed int64, p float64) *Dialer {
+	n := netem.New(sim.NewClock(), sim.NewRNG(seed))
+	n.LossRate = p
+	return &Dialer{Net: n}
+}
+
+func FuzzLossProcess(f *testing.F) {
+	f.Add(int64(1), 0.02, []byte{1, 4, 9, 63, 2})
+	f.Add(int64(7), 0.0, []byte{8, 8, 8})
+	f.Add(int64(42), 1.0, []byte{1, 2, 3, 4})
+	f.Add(int64(-3), 0.999, []byte{255, 0, 17})
+	f.Fuzz(func(t *testing.T, seed int64, p float64, rounds []byte) {
+		if math.IsNaN(p) || p < 0 || p > 1.5 || len(rounds) > 1024 {
+			t.Skip("outside the loss process's input domain")
+		}
+		d := lossDialer(seed, p)
+		prevLoss := math.Inf(-1)
+		var lossyRounds int64
+		var verdicts []bool
+		for _, b := range rounds {
+			segs := int64(b%64) + 1
+			start := d.lossSeg
+			pos := d.nextLossPos()
+			if math.IsNaN(pos) {
+				t.Fatal("sampled loss position is NaN")
+			}
+			if pos < float64(start) {
+				t.Fatalf("sampled loss position %v behind the loss coordinate %d", pos, start)
+			}
+			lossy := d.roundLossy(segs)
+			verdicts = append(verdicts, lossy)
+			if d.lossSeg != start+segs {
+				t.Fatalf("loss coordinate advanced %d -> %d, want +%d", start, d.lossSeg, segs)
+			}
+			if lossy {
+				lossyRounds++
+				if pos >= float64(d.lossSeg) {
+					t.Fatalf("round [%d,%d) lossy but sampled position %v outside it", start, d.lossSeg, pos)
+				}
+				if pos <= prevLoss {
+					t.Fatalf("consumed loss positions not strictly increasing: %v after %v", pos, prevLoss)
+				}
+				prevLoss = pos
+			}
+			if p >= 1 && !lossy {
+				t.Fatalf("p=%v: round of %d segments not lossy; certain loss must hit every round", p, segs)
+			}
+			if p == 0 && lossy {
+				t.Fatal("p=0: no round may be lossy")
+			}
+		}
+		// One draw per loss event plus at most one outstanding sample:
+		// the whole point of the analytic sampler.
+		if draws := d.LossDraws(); draws > lossyRounds+1 {
+			t.Fatalf("%d RNG draws for %d lossy rounds, want <= lossy+1", draws, lossyRounds)
+		}
+		// Same seed, same schedule: bit-identical verdicts.
+		replay := lossDialer(seed, p)
+		for i, b := range rounds {
+			if got := replay.roundLossy(int64(b%64) + 1); got != verdicts[i] {
+				t.Fatalf("round %d verdict %v on replay, %v first run: process not deterministic", i, got, verdicts[i])
+			}
+		}
+	})
+}
+
+func FuzzLossScript(f *testing.F) {
+	f.Add([]byte{0, 3, 3, 10}, []byte{4, 4, 4, 4})
+	f.Add([]byte{1}, []byte{255, 1})
+	f.Add([]byte{}, []byte{8, 8})
+	f.Fuzz(func(t *testing.T, gaps, rounds []byte) {
+		if len(gaps) > 512 || len(rounds) > 1024 {
+			t.Skip("bounding fuzz work")
+		}
+		// Build a strictly increasing script from cumulative gaps.
+		var positions []int64
+		pos := int64(0)
+		for _, g := range gaps {
+			pos += int64(g)
+			positions = append(positions, pos)
+			pos++
+		}
+		d := lossDialer(99, 0.5) // nonzero rate: the script must still win
+		d.InjectLossPositions(positions)
+		cur := 0
+		for _, b := range rounds {
+			segs := int64(b%64) + 1
+			end := d.lossSeg + segs
+			want := cur < len(positions) && positions[cur] < end
+			if got := d.roundLossy(segs); got != want {
+				t.Fatalf("scripted round ending at %d: lossy = %v, want %v (script %v)", end, got, want, positions)
+			}
+			for cur < len(positions) && positions[cur] < end {
+				cur++
+			}
+		}
+		if d.LossDraws() != 0 {
+			t.Fatalf("scripted loss consumed %d RNG draws, want 0", d.LossDraws())
+		}
+	})
+}

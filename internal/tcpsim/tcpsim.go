@@ -92,6 +92,15 @@ var DefaultTLS = TLSConfig{Enabled: true, CertBytes: 3800, RecordOverheadPct: 2.
 // PlainTCP disables TLS.
 var PlainTCP = TLSConfig{}
 
+// Client-side ephemeral ports: Dial hands out sequential ports from
+// clientPortBase and wraps back after clientPortMax. The range is the
+// flow-identity contract the trace analyzers rely on (a port below
+// clientPortBase is never a simulated client).
+const (
+	clientPortBase = 40000
+	clientPortMax  = 65535
+)
+
 // Dialer opens simulated connections from a fixed client host and
 // records their packets into a trace sink — a buffering Capture or a
 // fold-at-record-time Streamer; the transport model never reads the
@@ -133,7 +142,7 @@ type Dialer struct {
 
 // NewDialer returns a dialer for the given client host.
 func NewDialer(n *netem.Network, sink trace.Sink, client *netem.Host) *Dialer {
-	return &Dialer{Net: n, Sink: sink, Client: client, nextPort: 40000}
+	return &Dialer{Net: n, Sink: sink, Client: client, nextPort: clientPortBase}
 }
 
 // Conn is one simulated TCP (optionally TLS) connection.
@@ -165,11 +174,11 @@ type Conn struct {
 func (d *Dialer) Dial(server *netem.Host, serverName string, at time.Time, tls TLSConfig) *Conn {
 	port := d.nextPort
 	d.nextPort++
-	if d.nextPort > 65535 {
+	if d.nextPort > clientPortMax {
 		// Ephemeral ports are 16-bit: wrap instead of growing into
 		// invalid port numbers during long campaigns. Flow identity is
 		// the FlowID, so key reuse never confuses the analyzers.
-		d.nextPort = 40000
+		d.nextPort = clientPortBase
 	}
 	key := trace.FlowKey{
 		ClientAddr: d.Client.Addr, ClientPort: port,

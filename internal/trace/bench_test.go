@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"sort"
 	"testing"
 	"time"
 )
@@ -66,7 +67,13 @@ func BenchmarkRecord(b *testing.B) {
 			return out
 		}(),
 	}
-	for name, packets := range patterns {
+	names := make([]string, 0, len(patterns))
+	for name := range patterns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		packets := patterns[name]
 		b.Run(name+"/new", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				c := &Capture{flows: base.flows}

@@ -164,14 +164,18 @@ func TestRecordMatchesSeedInsertionSort(t *testing.T) {
 }
 
 func TestAnalyzeMatchesSeedScans(t *testing.T) {
-	filters := map[string]FlowFilter{
-		"all":     AllFlows,
-		"storage": func(f FlowInfo) bool { return f.ServerName == "storage.example" },
-		"none":    func(FlowInfo) bool { return false },
+	filters := []struct {
+		name string
+		f    FlowFilter
+	}{
+		{"all", AllFlows},
+		{"storage", func(f FlowInfo) bool { return f.ServerName == "storage.example" }},
+		{"none", func(FlowInfo) bool { return false }},
 	}
 	for seed := int64(1); seed <= 5; seed++ {
 		c, ref := randomCapture(seed, 400)
-		for name, f := range filters {
+		for _, flt := range filters {
+			name, f := flt.name, flt.f
 			set := refSet(c.Flows(), f)
 			a := c.Analyze(f)
 			if want := refTotalWireBytes(ref.packets, set); a.TotalWire != want {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# lint.sh — run simlint, the repository's determinism-contract linter,
+# over the module (or the packages given as arguments).
+#
+# simlint bundles four analyzers behind the standard `go vet -vettool`
+# protocol (see internal/analysis/README.md):
+#
+#   walltime          no wall-clock reads in simulation packages
+#   rngdiscipline     all randomness flows from seeded sim.RNG streams
+#   mapiter           no map-iteration order in observable output
+#   goldendiscipline  no hardcoded golden pins outside internal/goldenfile
+#
+# Audited exceptions carry an in-source `//simlint:allow <check>`
+# directive. CI runs this same check; a clean scripts/lint.sh locally
+# means a clean simlint job.
+#
+# Usage: scripts/lint.sh [packages...]     (default: ./...)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p bin
+go build -o bin/simlint ./cmd/simlint
+exec go vet -vettool=bin/simlint "${@:-./...}"
