@@ -33,11 +33,13 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/dedup"
 	"repro/internal/geo"
 	"repro/internal/netem"
 	"repro/internal/sim"
@@ -149,6 +151,28 @@ type transportLossyMicro struct {
 	DrawReductionX   float64 `json:"draw_reduction_x"`
 }
 
+// fleetMicro pins the fleet engine's throughput and the sharded
+// store's gain over a single global lock: one fleet day timed end to
+// end (users/sec/core is the headline), the dedup-vs-population curve
+// off FleetPopulationSweep, a bit-identity check of the sequential
+// engine against the shared worker budget, and a concurrent PutHashed
+// hammer on a 64-shard store vs the single-lock layout.
+type fleetMicro struct {
+	Workload        string  `json:"workload"`
+	Users           int     `json:"users"`
+	WallNs          int64   `json:"wall_ns"`
+	UsersPerSecCore float64 `json:"users_per_sec_core"`
+	DedupRatio      float64 `json:"dedup_ratio"`
+	Identical       bool    `json:"identical"`
+
+	Populations []core.FleetPopulationPoint `json:"populations"`
+
+	StoreHammer          string  `json:"store_hammer"`
+	ShardedPutsPerSec    float64 `json:"sharded_puts_per_sec"`
+	SingleLockPutsPerSec float64 `json:"single_lock_puts_per_sec"`
+	ShardSpeedupX        float64 `json:"shard_speedup_x"`
+}
+
 type micro struct {
 	GoMaxProcs       int                 `json:"go_max_procs"`
 	CampaignWorkload string              `json:"campaign_workload"`
@@ -159,6 +183,7 @@ type micro struct {
 	Transport        transportMicro      `json:"transport"`
 	TransportLossy   transportLossyMicro `json:"transport_lossy"`
 	Content          []contentMicro      `json:"content"`
+	Fleet            fleetMicro          `json:"fleet"`
 }
 
 // snapshot is a core.Campaign plus the engine micro section; the
@@ -233,6 +258,7 @@ func main() {
 	}
 
 	snap.Micro.Memory = memoryMicroBench(*seed)
+	snap.Micro.Fleet = fleetMicroBench(*seed)
 	snap.Micro.Transport = transportMicroBench()
 	snap.Micro.TransportLossy = transportLossyMicroBench()
 	snap.Micro.Content = []contentMicro{
@@ -345,6 +371,81 @@ func contentMicroBench(label string, count int, size int64) contentMicro {
 	}
 	if pcg.NsPerOp() > 0 {
 		m.SpeedupX = float64(legacy.NsPerOp()) / float64(pcg.NsPerOp())
+	}
+	return m
+}
+
+// fleetMicroBench times one 10k-user service day through the fleet
+// engine, sweeps the dedup ratio over population sizes, checks the
+// parallel day is bit-identical to the sequential one, and hammers
+// PutHashed from GOMAXPROCS×2 goroutines against the 64-shard and
+// single-lock store layouts.
+func fleetMicroBench(seed int64) fleetMicro {
+	const users = 10_000
+	cfg := func() core.FleetConfig { return core.FleetConfig{Users: users, Seed: seed} }
+
+	var res core.FleetResult
+	wall := minWall(2, func() { res = core.RunFleet(cfg(), 0) })
+	seqRes := core.RunFleet(cfg(), 1)
+
+	m := fleetMicro{
+		Workload:   "10k users x 1 service day, default class mix",
+		Users:      users,
+		WallNs:     wall.Nanoseconds(),
+		DedupRatio: res.DedupRatio,
+		Identical:  reflect.DeepEqual(res, seqRes),
+		Populations: core.FleetPopulationSweep(
+			core.FleetConfig{Seed: seed}, []int{1000, 4000, 16000}, 0),
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		m.UsersPerSecCore = float64(users) / secs / float64(runtime.GOMAXPROCS(0))
+	}
+
+	// Store hammer: the same concurrent PutHashed mix on both lock
+	// layouts. 70% of ops hit a small contended hash set, the rest are
+	// per-goroutine unique — the fleet's popular-catalog access shape.
+	const (
+		goroutines = 8
+		opsPerG    = 200_000
+		hotSet     = 512
+	)
+	hammer := func(shards int) float64 {
+		hot := make([]dedup.Hash, hotSet)
+		rng := sim.NewRNG(seed)
+		for i := range hot {
+			rng.Fill(hot[i][:])
+		}
+		s := dedup.NewStoreSharded(shards)
+		wall := minWall(3, func() {
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					cold := make([]dedup.Hash, 256)
+					rng := sim.NewRNG(seed + int64(g) + 1)
+					for i := range cold {
+						rng.Fill(cold[i][:])
+					}
+					for i := 0; i < opsPerG; i++ {
+						if i%10 < 7 {
+							s.PutHashed(hot[(i*13+g)%hotSet], 100)
+						} else {
+							s.PutHashed(cold[i%len(cold)], 10)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+		return float64(goroutines*opsPerG) / wall.Seconds()
+	}
+	m.StoreHammer = fmt.Sprintf("%d goroutines x %dk PutHashed, 70%% on %d hot hashes",
+		goroutines, opsPerG/1000, hotSet)
+	m.ShardedPutsPerSec = hammer(64)
+	m.SingleLockPutsPerSec = hammer(1)
+	if m.SingleLockPutsPerSec > 0 {
+		m.ShardSpeedupX = m.ShardedPutsPerSec / m.SingleLockPutsPerSec
 	}
 	return m
 }

@@ -113,6 +113,39 @@
 //     oversubscribe the machine; when the budget is spent, inner
 //     cells simply run inline on their caller's worker.
 //
+// # Fleet engine
+//
+// core.RunFleet scales the per-client methodology to a service
+// population: N simulated users (10⁵–10⁶) share one cloud backend for
+// a whole service day, so population composition changes server-side
+// bytes — the paper's Sect. 4.3 deduplication phenomenon studied at
+// fleet scale. A user is never materialised: it is an index, and its
+// whole day — session instants from a per-class arrival process
+// (internal/workload's Poisson, bursty Gamma and diurnal
+// Lewis–Shedler thinning), per-session file mixes, and the content
+// address of every chunk — is derived on demand from
+// fleetSeed(base, user, session). Files stay lazy descriptors and a
+// chunk's address is a pure function of its descriptor tuple, so a
+// million-user day allocates O(active users), not O(users x files).
+// Users are partitioned over a fixed stripe count (independent of the
+// worker budget) and each stripe advances its users in virtual time
+// through an event heap.
+//
+// The backend is dedup.Store, sharded by content-hash prefix with one
+// striped RWMutex and one counter set per shard — a single global lock
+// under a concurrent fleet serialises every chunk lookup; shard
+// counters are aggregated on read. Cross-user dedup under parallelism
+// runs as a claim/resolve protocol: a first pass claims every chunk
+// with its session's (virtual instant, user) pair and the store keeps
+// the earliest claim — a pure function of offered load, whatever the
+// execution interleaving — then a bit-exact replay charges each upload
+// to its claim winner, reproducing the sequential virtual-time outcome
+// on all cores. cmd/fleetbench reports the service-side load curves
+// (bytes/s, concurrent connections, dedup ratio vs population size),
+// the benchsnap fleet micro pins users/sec/core and sharded-vs-single-
+// lock store throughput, and scripts/fleetsmoke.sh byte-compares
+// fleetbench reports across worker counts in CI.
+//
 // Determinism contract: every experiment cell derives all randomness
 // from its own index (seed, testbed, RNG — see campaignSeed) and
 // writes only its own result slot, so results are bit-identical to

@@ -212,15 +212,15 @@ func (pl *planner) planBytes(path string, data []byte, desc workload.Descriptor,
 			newSigs = append(newSigs, deltaenc.Sign(ch.Data, deltaenc.DefaultBlockSize))
 		}
 
-		if prof.Dedup && pl.store.Has(h) {
+		if prof.Dedup && !pl.store.PutHashed(h, int64(len(payload))) {
+			// One lookup decides both the dedup verdict and the
+			// insert: an already-present chunk is the hit, a new one
+			// is stored and uploaded below.
 			plan.DedupSkipped += ch.Len()
 			continue
 		}
 
 		wire := pl.unitBytes(i, ch, payload, oldSigs, desc, haveDesc)
-		if prof.Dedup {
-			pl.store.PutHashed(h, int64(len(payload)))
-		}
 		plan.Units = append(plan.Units, TransferUnit{
 			Path:     path,
 			Bytes:    wire,

@@ -27,63 +27,6 @@ func HashBytes(b []byte) Hash { return sha256.Sum256(b) }
 // deduplication manifests.
 const HashSize = sha256.Size
 
-// Store is a server-side content-addressed chunk store. The zero
-// value is not usable; call NewStore.
-type Store struct {
-	sizes map[Hash]int64
-	bytes int64
-	puts  int64
-	hits  int64
-}
-
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{sizes: make(map[Hash]int64)}
-}
-
-// Has reports whether the store already holds content with this hash.
-func (s *Store) Has(h Hash) bool {
-	_, ok := s.sizes[h]
-	return ok
-}
-
-// Put stores a chunk and reports whether it was new. Storing an
-// already-present chunk is a no-op (and counts as a dedup hit).
-func (s *Store) Put(data []byte) (h Hash, isNew bool) {
-	h = HashBytes(data)
-	_, present := s.sizes[h]
-	s.PutHashed(h, int64(len(data)))
-	return h, !present
-}
-
-// PutHashed is Put for a caller that already computed the content
-// address (the deduplicating client hashes every chunk before asking
-// the server about it, so hashing twice per chunk is pure waste). It
-// returns the hash for symmetry with Put.
-func (s *Store) PutHashed(h Hash, size int64) Hash {
-	if _, ok := s.sizes[h]; ok {
-		s.hits++
-		return h
-	}
-	s.sizes[h] = size
-	s.bytes += size
-	s.puts++
-	return h
-}
-
-// Size returns the stored size of a chunk, or 0 if absent.
-func (s *Store) Size(h Hash) int64 { return s.sizes[h] }
-
-// UniqueChunks returns how many distinct chunks the store holds.
-func (s *Store) UniqueChunks() int { return len(s.sizes) }
-
-// StoredBytes returns the total bytes of unique content stored — the
-// "storage capacity" the paper's dedup capability saves.
-func (s *Store) StoredBytes() int64 { return s.bytes }
-
-// Hits returns how many Put calls were deduplicated away.
-func (s *Store) Hits() int64 { return s.hits }
-
 // Manifest is the client-side map from file path to the ordered chunk
 // hashes of its last synchronized revision. Delta encoding and rename
 // detection both start from here.

@@ -1,0 +1,224 @@
+package dedup
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// DefaultShards is the shard count of NewStore: enough stripes that a
+// worker-per-core fleet rarely collides on a shard lock, small enough
+// that a per-repetition single-client store stays a handful of maps.
+const DefaultShards = 64
+
+// Store is a server-side content-addressed chunk store, sharded by
+// hash prefix with one lock stripe per shard so concurrent clients
+// Put/PutHashed without serialising on a single mutex. The zero value
+// is not usable; call NewStore (or NewStoreSharded for an explicit
+// shard count — NewStoreSharded(1) is the single-lock configuration
+// the benchsnap fleet micro uses as its baseline).
+//
+// All methods are safe for concurrent use. Counters (StoredBytes,
+// UniqueChunks, Hits, Puts) are kept per shard and aggregated on
+// read; a read that overlaps writers returns some valid interleaving,
+// and is exact once writers are quiescent.
+type Store struct {
+	shards []shard
+	mask   uint32
+}
+
+// shard is one lock stripe. The struct is padded to its own cache
+// lines so per-shard counters on adjacent shards do not false-share
+// under concurrent Put storms.
+type shard struct {
+	mu     sync.RWMutex
+	sizes  map[Hash]int64
+	claims map[Hash]claim // lazily allocated; see Claim
+	bytes  int64
+	puts   int64
+	hits   int64
+	_      [40]byte
+}
+
+// claim is the earliest would-be uploader of a chunk in fleet virtual
+// time: the (instant, user) pair orders uploads the way a sequential
+// replay of the service day would.
+type claim struct {
+	at   int64 // virtual-time instant, ns from day start
+	user int64
+}
+
+// before orders claims by (instant, user); the user index breaks ties
+// deterministically.
+func (c claim) before(o claim) bool {
+	return c.at < o.at || (c.at == o.at && c.user < o.user)
+}
+
+// NewStore returns an empty store with DefaultShards lock stripes.
+func NewStore() *Store { return NewStoreSharded(DefaultShards) }
+
+// NewStoreSharded returns an empty store with n lock stripes, rounded
+// up to a power of two (minimum 1; n=1 is a single-lock store).
+func NewStoreSharded(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	s := &Store{shards: make([]shard, pow), mask: uint32(pow - 1)}
+	for i := range s.shards {
+		s.shards[i].sizes = make(map[Hash]int64)
+	}
+	return s
+}
+
+// Shards returns the number of lock stripes.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor routes a content address to its stripe by hash prefix;
+// SHA-256 output is uniform, so the stripes load-balance themselves.
+func (s *Store) shardFor(h Hash) *shard {
+	return &s.shards[binary.LittleEndian.Uint32(h[:4])&s.mask]
+}
+
+// Has reports whether the store already holds content with this hash.
+func (s *Store) Has(h Hash) bool {
+	sh := s.shardFor(h)
+	sh.mu.RLock()
+	_, ok := sh.sizes[h]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Put stores a chunk and reports whether it was new. Storing an
+// already-present chunk is a no-op (and counts as a dedup hit).
+func (s *Store) Put(data []byte) (h Hash, isNew bool) {
+	h = HashBytes(data)
+	return h, s.PutHashed(h, int64(len(data)))
+}
+
+// PutHashed is Put for a caller that already computed the content
+// address (the deduplicating client hashes every chunk before asking
+// the server about it, so hashing twice per chunk is pure waste). It
+// reports whether the chunk was new — one map lookup decides both the
+// insert and the dedup verdict, so callers no longer pair it with a
+// separate Has.
+func (s *Store) PutHashed(h Hash, size int64) (isNew bool) {
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	isNew = sh.putLocked(h, size)
+	sh.mu.Unlock()
+	return isNew
+}
+
+// putLocked inserts a chunk into a locked shard, maintaining the
+// per-shard counters. One lookup: the insert and the hit verdict come
+// off the same map access.
+func (sh *shard) putLocked(h Hash, size int64) (isNew bool) {
+	if _, ok := sh.sizes[h]; ok {
+		sh.hits++
+		return false
+	}
+	sh.sizes[h] = size
+	sh.bytes += size
+	sh.puts++
+	return true
+}
+
+// Claim records (at, user) as a would-be uploader of chunk h during a
+// fleet day. The store keeps the earliest claim in (at, user) order —
+// a pure function of the offered load, independent of the execution
+// order of concurrent claimants — so a parallel fleet pass resolves
+// exactly the upload set a sequential virtual-time replay would: the
+// earliest claimant uploads, everyone else deduplicates (see Winner).
+// The chunk itself is stored as by PutHashed, and the claim counts
+// identically toward the put/hit counters.
+func (s *Store) Claim(h Hash, size int64, at, user int64) {
+	sh := s.shardFor(h)
+	c := claim{at: at, user: user}
+	sh.mu.Lock()
+	sh.putLocked(h, size)
+	if sh.claims == nil {
+		sh.claims = make(map[Hash]claim)
+	}
+	if cur, ok := sh.claims[h]; !ok || c.before(cur) {
+		sh.claims[h] = c
+	}
+	sh.mu.Unlock()
+}
+
+// Winner reports whether (at, user) is the earliest recorded claim
+// for h — i.e. whether that claimant pays the upload while every
+// other claimant of the same chunk deduplicates against it. Reading
+// an unclaimed hash returns false.
+func (s *Store) Winner(h Hash, at, user int64) bool {
+	sh := s.shardFor(h)
+	sh.mu.RLock()
+	c, ok := sh.claims[h]
+	sh.mu.RUnlock()
+	return ok && c == claim{at: at, user: user}
+}
+
+// Size returns the stored size of a chunk, or 0 if absent.
+func (s *Store) Size(h Hash) int64 {
+	sh := s.shardFor(h)
+	sh.mu.RLock()
+	size := sh.sizes[h]
+	sh.mu.RUnlock()
+	return size
+}
+
+// UniqueChunks returns how many distinct chunks the store holds,
+// aggregated across shards.
+func (s *Store) UniqueChunks() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sizes)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// StoredBytes returns the total bytes of unique content stored — the
+// "storage capacity" the paper's dedup capability saves — aggregated
+// across shards.
+func (s *Store) StoredBytes() int64 {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.bytes
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Hits returns how many Put/PutHashed/Claim calls were deduplicated
+// away, aggregated across shards.
+func (s *Store) Hits() int64 {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.hits
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Puts returns how many Put/PutHashed/Claim calls stored new content,
+// aggregated across shards. Puts+Hits is the total offered chunk
+// count; Puts == UniqueChunks when the store started empty.
+func (s *Store) Puts() int64 {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.puts
+		sh.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,173 @@
+package dedup
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// randomHashes returns n deterministic pseudo-content addresses. The
+// raw RNG words stand in for SHA-256 output: shard routing and map
+// behaviour only need uniform bytes, not real preimages.
+func randomHashes(seed int64, n int) []Hash {
+	rng := sim.NewRNG(seed)
+	hs := make([]Hash, n)
+	for i := range hs {
+		rng.Fill(hs[i][:])
+	}
+	return hs
+}
+
+func TestPutHashedReportsNew(t *testing.T) {
+	s := NewStore()
+	h := HashBytes([]byte("one lookup"))
+	if !s.PutHashed(h, 11) {
+		t.Fatal("first PutHashed not new")
+	}
+	if s.PutHashed(h, 11) {
+		t.Fatal("second PutHashed claimed new")
+	}
+	if s.Hits() != 1 || s.Puts() != 1 {
+		t.Fatalf("hits=%d puts=%d", s.Hits(), s.Puts())
+	}
+}
+
+func TestShardedCountersAggregate(t *testing.T) {
+	// Spray hashes across every shard and check the aggregated
+	// counters against a flat reference map.
+	s := NewStore()
+	ref := make(map[Hash]int64)
+	var refBytes, refHits int64
+	rng := sim.NewRNG(7)
+	hs := randomHashes(8, 512)
+	for i := 0; i < 4096; i++ {
+		h := hs[rng.Intn(len(hs))]
+		size := int64(rng.Intn(1000)) + 1
+		if old, ok := ref[h]; ok {
+			refHits++
+			size = old // store keeps the first size
+		} else {
+			ref[h] = size
+			refBytes += size
+		}
+		s.PutHashed(h, size)
+	}
+	if s.UniqueChunks() != len(ref) {
+		t.Fatalf("UniqueChunks = %d, want %d", s.UniqueChunks(), len(ref))
+	}
+	if s.StoredBytes() != refBytes {
+		t.Fatalf("StoredBytes = %d, want %d", s.StoredBytes(), refBytes)
+	}
+	if s.Hits() != refHits {
+		t.Fatalf("Hits = %d, want %d", s.Hits(), refHits)
+	}
+	if s.Puts() != int64(len(ref)) {
+		t.Fatalf("Puts = %d, want %d", s.Puts(), len(ref))
+	}
+	for _, h := range hs {
+		size, ok := ref[h]
+		if !ok {
+			continue // never drawn by the spray
+		}
+		if !s.Has(h) || s.Size(h) != size {
+			t.Fatalf("chunk %v: Has=%v Size=%d want %d", h, s.Has(h), s.Size(h), size)
+		}
+	}
+}
+
+func TestShardCountIndependence(t *testing.T) {
+	// The same workload lands identically on a single-lock store and
+	// on any sharded configuration.
+	hs := randomHashes(9, 300)
+	stores := []*Store{NewStoreSharded(1), NewStoreSharded(4), NewStoreSharded(64)}
+	for _, s := range stores {
+		for i, h := range hs {
+			s.PutHashed(h, int64(i%97)+1)
+			s.PutHashed(h, int64(i%97)+1) // duplicate: a hit
+		}
+	}
+	for _, s := range stores[1:] {
+		if s.UniqueChunks() != stores[0].UniqueChunks() ||
+			s.StoredBytes() != stores[0].StoredBytes() ||
+			s.Hits() != stores[0].Hits() {
+			t.Fatalf("shards=%d disagrees with single-lock: chunks %d/%d bytes %d/%d hits %d/%d",
+				s.Shards(), s.UniqueChunks(), stores[0].UniqueChunks(),
+				s.StoredBytes(), stores[0].StoredBytes(), s.Hits(), stores[0].Hits())
+		}
+	}
+}
+
+func TestNewStoreShardedRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {65, 128},
+	} {
+		if got := NewStoreSharded(tc.in).Shards(); got != tc.want {
+			t.Errorf("NewStoreSharded(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestClaimEarliestWins(t *testing.T) {
+	h := HashBytes([]byte("popular chunk"))
+	// Claims arrive in scrambled execution order; the (at, user)
+	// minimum must win regardless.
+	orders := [][]claim{
+		{{at: 30, user: 2}, {at: 10, user: 5}, {at: 20, user: 1}},
+		{{at: 10, user: 5}, {at: 20, user: 1}, {at: 30, user: 2}},
+		{{at: 20, user: 1}, {at: 30, user: 2}, {at: 10, user: 5}},
+	}
+	for _, order := range orders {
+		s := NewStore()
+		for _, c := range order {
+			s.Claim(h, 100, c.at, c.user)
+		}
+		if !s.Winner(h, 10, 5) {
+			t.Fatalf("order %v: earliest claim lost", order)
+		}
+		for _, c := range order {
+			if (c != claim{at: 10, user: 5}) && s.Winner(h, c.at, c.user) {
+				t.Fatalf("order %v: losing claim %v reported as winner", order, c)
+			}
+		}
+		if s.UniqueChunks() != 1 || s.Hits() != 2 || s.Puts() != 1 {
+			t.Fatalf("claim counters: chunks=%d hits=%d puts=%d",
+				s.UniqueChunks(), s.Hits(), s.Puts())
+		}
+	}
+}
+
+func TestClaimTieBreaksOnUser(t *testing.T) {
+	s := NewStore()
+	h := HashBytes([]byte("tie"))
+	s.Claim(h, 1, 50, 9)
+	s.Claim(h, 1, 50, 3)
+	if !s.Winner(h, 50, 3) || s.Winner(h, 50, 9) {
+		t.Fatal("equal-instant tie must resolve to the lower user index")
+	}
+}
+
+func TestWinnerOnUnclaimedHash(t *testing.T) {
+	s := NewStore()
+	h := HashBytes([]byte("never claimed"))
+	if s.Winner(h, 0, 0) {
+		t.Fatal("Winner on empty store")
+	}
+	s.PutHashed(h, 5) // plain put, no claim
+	if s.Winner(h, 0, 0) {
+		t.Fatal("Winner on a put-only chunk")
+	}
+}
+
+func TestClaimAndPutShareChunkSpace(t *testing.T) {
+	// A chunk uploaded via the plain client path dedups against a
+	// fleet claim and vice versa: one content-addressed space.
+	s := NewStore()
+	h := HashBytes([]byte("shared space"))
+	s.Claim(h, 42, 7, 1)
+	if s.PutHashed(h, 42) {
+		t.Fatal("PutHashed after Claim claimed new")
+	}
+	if s.UniqueChunks() != 1 || s.StoredBytes() != 42 {
+		t.Fatalf("chunks=%d bytes=%d", s.UniqueChunks(), s.StoredBytes())
+	}
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# fleetsmoke.sh — prove one fleet service day is bit-identical across
+# worker counts, end to end through cmd/fleetbench.
+#
+# The fleet engine promises that its JSON report contains simulated
+# quantities only and that those are a pure function of the flags —
+# never of -parallel. The smoke runs a small population (with a short
+# sweep) at -parallel 1 and -parallel 8 and byte-compares the two
+# reports; any diff is a determinism regression in the fleet layer or
+# the sharded store's claim/resolve protocol.
+#
+# Usage: scripts/fleetsmoke.sh [users]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+users="${1:-2000}"
+a="$(mktemp -t fleet_p1.XXXXXX.json)"
+b="$(mktemp -t fleet_p8.XXXXXX.json)"
+trap 'rm -f "${a}" "${b}"' EXIT
+
+go run ./cmd/fleetbench -users "${users}" -populations 500,"${users}" \
+  -parallel 1 -out "${a}"
+go run ./cmd/fleetbench -users "${users}" -populations 500,"${users}" \
+  -parallel 8 -out "${b}"
+
+if ! cmp -s "${a}" "${b}"; then
+  echo "fleetsmoke: fleet day differs between -parallel 1 and -parallel 8" >&2
+  diff "${a}" "${b}" | head -40 >&2 || true
+  exit 1
+fi
+echo "fleetsmoke: ${users}-user day bit-identical across worker counts"
