@@ -5,7 +5,10 @@
 // campaign wall-clock through the parallel and sequential engines,
 // the full campaign-of-campaigns matrix (every service x workload x
 // repetition flattened onto the shared scheduler pool, with a
-// bit-identity check against the sequential engine), the
+// bit-identity check against the sequential engine), an adaptive
+// sampling micro (the fixed 24-rep Cloud Drive campaign vs the
+// antithetic sequential design stopped at the same achieved
+// precision: repetitions spent, wall-clock, half-widths), the
 // MeasureWindow path against the seed copy-and-rescan baseline, a
 // memory micro (B/op, allocs/op via testing.Benchmark) of one large
 // multi-MB repetition through the streaming engine vs a buffered
@@ -151,6 +154,27 @@ type transportLossyMicro struct {
 	DrawReductionX   float64 `json:"draw_reduction_x"`
 }
 
+// adaptiveMicro pins the adaptive sampling engine's headline claim:
+// at the precision the fixed 24-rep Cloud Drive campaign achieves,
+// the antithetic sequential design stops with fewer repetitions and
+// less wall-clock. TargetRelHW is the fixed run's achieved relative
+// CI95 half-width — the bar the adaptive run must clear — and both
+// runs are deterministic, so RepsSaved is a pinned number, not a
+// sample.
+type adaptiveMicro struct {
+	Workload      string  `json:"workload"`
+	FixedReps     int     `json:"fixed_reps"`
+	FixedNs       int64   `json:"fixed_ns"`
+	FixedRelHW    float64 `json:"fixed_rel_hw"`
+	TargetRelHW   float64 `json:"target_rel_hw"`
+	AdaptiveReps  int     `json:"adaptive_reps"`
+	AdaptiveNs    int64   `json:"adaptive_ns"`
+	AdaptiveRelHW float64 `json:"adaptive_rel_hw"`
+	RepsSaved     int     `json:"reps_saved"`
+	SpeedupX      float64 `json:"speedup_x"`
+	TargetMet     bool    `json:"target_met"`
+}
+
 // fleetMicro pins the fleet engine's throughput and the sharded
 // store's gain over a single global lock: one fleet day timed end to
 // end (users/sec/core is the headline), the dedup-vs-population curve
@@ -177,6 +201,7 @@ type micro struct {
 	GoMaxProcs       int                 `json:"go_max_procs"`
 	CampaignWorkload string              `json:"campaign_workload"`
 	Campaign         []campaignMicro     `json:"campaign"`
+	Adaptive         adaptiveMicro       `json:"adaptive"`
 	Matrix           matrixMicro         `json:"matrix"`
 	MeasureWindow    measureMicro        `json:"measure_window"`
 	Memory           memoryMicro         `json:"memory"`
@@ -220,6 +245,8 @@ func main() {
 			ParallelSpeedupX: ratio(seq, par),
 		})
 	}
+
+	snap.Micro.Adaptive = adaptiveMicroBench(*seed)
 
 	// Campaign-of-campaigns matrix: all services, four workloads,
 	// 4 repetitions each, flattened onto the shared scheduler pool vs
@@ -290,6 +317,36 @@ func main() {
 	if err := enc.Encode(snap); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// adaptiveMicroBench runs the fixed-24 Cloud Drive campaign, takes
+// its achieved precision as the target, and times the antithetic
+// adaptive engine getting there.
+func adaptiveMicroBench(seed int64) adaptiveMicro {
+	p := client.CloudDrive()
+	batch := workload.Batch{Count: 100, Size: 10_000, Kind: workload.Binary}
+
+	var fixed core.Summary
+	fixedWall := minWall(3, func() { fixed = core.RunCampaign(p, batch, 24, seed) })
+
+	rule := core.StopRule{TargetRelHW: fixed.AchievedRelHW, MinReps: 8, MaxReps: 96}
+	vr := core.VarianceReduction{Antithetic: true}
+	var adaptive core.Summary
+	adaptiveWall := minWall(3, func() { adaptive = core.RunCampaignAdaptive(p, batch, rule, vr, seed) })
+
+	return adaptiveMicro{
+		Workload:      "clouddrive, 100 x 10 kB, fixed 24 reps vs antithetic adaptive at equal precision",
+		FixedReps:     fixed.RepsUsed,
+		FixedNs:       fixedWall.Nanoseconds(),
+		FixedRelHW:    fixed.AchievedRelHW,
+		TargetRelHW:   rule.TargetRelHW,
+		AdaptiveReps:  adaptive.RepsUsed,
+		AdaptiveNs:    adaptiveWall.Nanoseconds(),
+		AdaptiveRelHW: adaptive.AchievedRelHW,
+		RepsSaved:     fixed.RepsUsed - adaptive.RepsUsed,
+		SpeedupX:      ratio(fixedWall, adaptiveWall),
+		TargetMet:     adaptive.AchievedRelHW <= rule.TargetRelHW,
 	}
 }
 

@@ -5,10 +5,16 @@
 // Usage:
 //
 //	capcheck [-service NAME|all] [-seed N] [-verbose] [-parallel N]
+//	capcheck -precision 0.05 [-max-reps N] [-service NAME|all]
 //
 // -parallel fans the service x detector matrix out over a shared
 // worker pool (0 = one worker per CPU, 1 = sequential); detections
 // are bit-identical at any setting.
+//
+// -precision repeats the detection suite across a seed stream until
+// the continuous bundling statistic (connections per file) is tight,
+// reporting per service whether the boolean verdicts were unanimous —
+// detection robustness quantified instead of assumed from one seed.
 package main
 
 import (
@@ -22,10 +28,12 @@ import (
 
 func main() {
 	var (
-		service  = flag.String("service", "all", "service to check, or all")
-		seed     = flag.Int64("seed", 42, "random seed")
-		verbose  = flag.Bool("verbose", false, "print per-test details")
-		parallel = flag.Int("parallel", 0, "concurrent detectors across all services (0 = one per CPU, 1 = sequential; results are identical at any setting)")
+		service   = flag.String("service", "all", "service to check, or all")
+		seed      = flag.Int64("seed", 42, "random seed")
+		verbose   = flag.Bool("verbose", false, "print per-test details")
+		parallel  = flag.Int("parallel", 0, "concurrent detectors across all services (0 = one per CPU, 1 = sequential; results are identical at any setting)")
+		precision = flag.Float64("precision", 0, "repeat detection until the bundling statistic's relative CI95 half-width is at most this (0 = single probe)")
+		maxReps   = flag.Int("max-reps", core.DefaultMaxReps, "repetition cap for -precision mode")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -44,6 +52,23 @@ func main() {
 			os.Exit(2)
 		}
 		profiles = []client.Profile{p}
+	}
+
+	if *precision > 0 {
+		rule := core.StopRule{TargetRelHW: *precision, MaxReps: *maxReps}
+		fmt.Printf("%-14s%12s%12s%12s\n", "service", "unanimous", "probes", "achieved")
+		caps := map[string]core.Capabilities{}
+		var order []string
+		for _, p := range profiles {
+			cc := core.DetectCapabilitiesAdaptive(p, rule, *seed)
+			caps[p.Service] = cc.Capabilities
+			order = append(order, p.Service)
+			fmt.Printf("%-14s%12v%12d%11.2f%%\n",
+				p.Service, cc.Unanimous, cc.RepsUsed, cc.AchievedRelHW*100)
+		}
+		fmt.Println()
+		fmt.Print(core.Table1(caps, order))
+		return
 	}
 
 	caps := core.DetectCapabilitiesAll(profiles, *seed)

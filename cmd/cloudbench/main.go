@@ -15,6 +15,16 @@
 // selected services, each cell a summarized set of lossy upload
 // repetitions through the analytic lossy transport engine.
 //
+// -precision switches the repeated experiments (fig6, locations, the
+// loss sweep) to the adaptive sampling engine: each cell runs until
+// the relative CI95 half-width of its headline metrics is at most the
+// target (e.g. 0.05 for ±5%), bounded by -min-reps/-max-reps, instead
+// of burning a fixed -reps budget. -antithetic pairs repetitions on
+// mirrored random streams and -crn gives every service a common
+// random-number stream — both shrink the variance so the target is
+// hit with fewer repetitions. Adaptive runs stay bit-identical at any
+// -parallel setting, including the number of repetitions executed.
+//
 // -parallel sets the fan-out of the whole experiment matrix: every
 // independent cell — benchmark repetitions, Fig. 4/5 sweep sizes,
 // capability detectors, (service, workload, vantage) combinations —
@@ -50,6 +60,11 @@ func main() {
 		doPlot     = flag.Bool("plot", false, "render ASCII charts for figs 1, 3 and 6")
 		parallel   = flag.Int("parallel", 0, "concurrent experiment cells across the whole matrix (0 = one per CPU, 1 = sequential; results are identical at any setting)")
 		loss       = flag.String("loss", "", "comma-separated segment-loss rates (e.g. 0.005,0.02,0.08): run the loss-sweep mode instead of -experiment")
+		precision  = flag.Float64("precision", 0, "adaptive sampling: stop each repeated cell once the relative CI95 half-width is at most this (e.g. 0.05); 0 = fixed -reps")
+		minReps    = flag.Int("min-reps", core.DefaultMinReps, "adaptive sampling: smallest sample a cell may stop at")
+		maxReps    = flag.Int("max-reps", core.DefaultMaxReps, "adaptive sampling: hard repetition cap per cell")
+		antithetic = flag.Bool("antithetic", false, "adaptive sampling: pair repetitions on mirrored random streams (variance reduction)")
+		crn        = flag.Bool("crn", false, "adaptive sampling: common random numbers across services (pairs cross-service comparisons)")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -57,6 +72,15 @@ func main() {
 		os.Exit(2)
 	}
 	core.CampaignWorkers = *parallel
+	if *precision < 0 || *precision >= 1 {
+		if *precision != 0 {
+			fmt.Fprintf(os.Stderr, "-precision must be in (0, 1) (got %g)\n", *precision)
+			os.Exit(2)
+		}
+	}
+	rule := core.StopRule{TargetRelHW: *precision, MinReps: *minReps, MaxReps: *maxReps}
+	vr := core.VarianceReduction{Antithetic: *antithetic, CRN: *crn}
+	adaptive := *precision > 0
 
 	profiles, err := selectProfiles(*service)
 	if err != nil {
@@ -69,7 +93,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		lossSweep(profiles, rates, *reps, *seed)
+		if adaptive {
+			lossSweepAdaptive(profiles, rates, rule, vr, *seed)
+		} else {
+			lossSweep(profiles, rates, *reps, *seed)
+		}
 		return
 	}
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }
@@ -97,7 +125,11 @@ func main() {
 	}
 	if run("fig6") {
 		any = true
-		fig6(profiles, *reps, *seed, *doPlot)
+		if adaptive {
+			fig6Adaptive(profiles, rule, vr, *seed, *doPlot)
+		} else {
+			fig6(profiles, *reps, *seed, *doPlot)
+		}
 	}
 	if run("discover") {
 		any = true
@@ -121,7 +153,11 @@ func main() {
 	}
 	if run("locations") {
 		any = true
-		locations(*seed)
+		if adaptive {
+			locationsAdaptive(rule, vr, *seed)
+		} else {
+			locations(*seed)
+		}
 	}
 	if run("whatif") {
 		any = true
@@ -289,6 +325,72 @@ func fig6(profiles []client.Profile, reps int, seed int64, doPlot bool) {
 		fmt.Print(plot.Bars(groups, labels, plot.Options{
 			Title: "Fig 6(b): completion time (s)", Width: 48, LogY: true,
 		}))
+	}
+	fmt.Println()
+}
+
+// fig6Adaptive is fig6 under a stopping rule: same tables, plus the
+// sampling matrix showing where the repetition budget went.
+func fig6Adaptive(profiles []client.Profile, rule core.StopRule, vr core.VarianceReduction, seed int64, doPlot bool) {
+	fmt.Printf("== Fig 6: benchmarks, adaptive to ±%.1f%% (max %d reps) ==\n",
+		rule.TargetRelHW*100, rule.MaxReps)
+	results := core.Fig6MatrixAdaptive(profiles, rule, vr, seed)
+	fmt.Print(core.Fig6Report(results))
+	fmt.Print(core.PrecisionReport(results))
+	if doPlot && len(results) > 0 {
+		var labels []string
+		for _, r := range results {
+			labels = append(labels, r.Service)
+		}
+		var groups []plot.BarGroup
+		for wi, w := range results[0].Workloads {
+			g := plot.BarGroup{Label: w.String()}
+			for _, r := range results {
+				g.Values = append(g.Values, r.Summaries[wi].MeanCompletion.Seconds())
+			}
+			groups = append(groups, g)
+		}
+		fmt.Println()
+		fmt.Print(plot.Bars(groups, labels, plot.Options{
+			Title: "Fig 6(b): completion time (s)", Width: 48, LogY: true,
+		}))
+	}
+	fmt.Println()
+}
+
+func locationsAdaptive(rule core.StopRule, vr core.VarianceReduction, seed int64) {
+	fmt.Printf("== Location study: 1x1MB completion, adaptive to ±%.1f%% ==\n", rule.TargetRelHW*100)
+	var vantages []core.Vantage
+	for _, name := range []string{"twente", "SEA", "IAD", "SIN", "SYD"} {
+		v, ok := core.VantageByName(name)
+		if !ok {
+			continue
+		}
+		vantages = append(vantages, v)
+	}
+	batch := workload.Batch{Count: 1, Size: 1 << 20, Kind: workload.Binary}
+	cells := core.LocationStudyAdaptive(batch, vantages, rule, vr, seed)
+	fmt.Print(core.LocationSummaryReport(cells, vantages))
+	fmt.Println()
+}
+
+func lossSweepAdaptive(profiles []client.Profile, rates []float64, rule core.StopRule, vr core.VarianceReduction, seed int64) {
+	fmt.Printf("== Loss sweep: %s, adaptive to ±%.1f%% (max %d reps) ==\n",
+		core.DefaultLossBatch, rule.TargetRelHW*100, rule.MaxReps)
+	cells := core.LossSweepAdaptive(profiles, rates, core.DefaultLossBatch, core.Twente, rule, vr, seed)
+	fmt.Printf("%-14s%10s%14s%12s%12s%8s%12s\n", "service", "loss", "completion", "startup", "overhead", "reps", "achieved")
+	for _, c := range cells {
+		fmt.Printf("%-14s%9.2f%%%13.1fs%11.1fs%11.2fx%8d%11.2f%%\n",
+			c.Service, c.LossRate*100,
+			c.Summary.MeanCompletion.Seconds(), c.Summary.MeanStartup.Seconds(),
+			c.Summary.MeanOverhead, c.Summary.RepsUsed, c.Summary.AchievedRelHW*100)
+	}
+	fmt.Println("\nCSV: service,loss_rate,completion_s,startup_s,overhead_x,reps_used,achieved_rel_hw")
+	for _, c := range cells {
+		fmt.Printf("%s,%g,%.3f,%.3f,%.3f,%d,%.5f\n",
+			c.Service, c.LossRate,
+			c.Summary.MeanCompletion.Seconds(), c.Summary.MeanStartup.Seconds(),
+			c.Summary.MeanOverhead, c.Summary.RepsUsed, c.Summary.AchievedRelHW)
 	}
 	fmt.Println()
 }

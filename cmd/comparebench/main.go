@@ -8,6 +8,14 @@
 //	comparebench -run -from twente -reps 8 -out eu.json
 //	comparebench -run -from SEA    -reps 8 -out us.json
 //
+// With -precision the campaign runs on the adaptive sampling engine:
+// each cell repeats until its relative CI95 half-width is at most the
+// target (bounded by -max-reps), and the campaign file records the
+// rule plus per-cell achieved precision, so two campaigns can be
+// compared at equal confidence. Comparison output annotates each
+// delta with whether it fits inside the union of the two runs'
+// achieved confidence intervals.
+//
 // Compare two campaigns:
 //
 //	comparebench -a eu.json -b us.json -threshold 1.5
@@ -41,6 +49,10 @@ func main() {
 		threshold   = flag.Float64("threshold", 1.3, "report ratios outside [1/t, t]")
 		failDrift   = flag.Bool("fail-on-drift", false, "exit non-zero when the comparison reports any difference")
 		expectDrift = flag.Bool("expect-drift", false, "invert the gate: exit non-zero when the comparison reports NO difference (validates a sanctioned baseline reset — a stale reset marker must not linger)")
+		precision   = flag.Float64("precision", 0, "run the campaign adaptively to this relative CI95 half-width target (0 = fixed -reps)")
+		maxReps     = flag.Int("max-reps", core.DefaultMaxReps, "repetition cap per cell in -precision mode")
+		antithetic  = flag.Bool("antithetic", false, "-precision mode: antithetic repetition pairs (variance reduction)")
+		crn         = flag.Bool("crn", false, "-precision mode: common random numbers across services")
 	)
 	flag.Parse()
 
@@ -50,7 +62,14 @@ func main() {
 		if !ok {
 			fatalf("unknown vantage %q", *from)
 		}
-		c := core.RunFullCampaign(v, *reps, *seed)
+		var c core.Campaign
+		if *precision > 0 {
+			rule := core.StopRule{TargetRelHW: *precision, MaxReps: *maxReps}
+			vr := core.VarianceReduction{Antithetic: *antithetic, CRN: *crn}
+			c = core.RunFullCampaignAdaptive(v, rule, vr, *seed)
+		} else {
+			c = core.RunFullCampaign(v, *reps, *seed)
+		}
 		w := os.Stdout
 		if *out != "" {
 			f, err := os.Create(*out)

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	figures [-fig 1|2|3|4|5|6|table1|all] [-reps N] [-seed N] [-parallel N]
+//	figures [-fig 1|2|3|4|5|6|table1|all] [-reps N] [-seed N] [-parallel N] [-precision P]
+//
+// -precision switches fig 6 to the adaptive sampling engine (see
+// cloudbench): cells repeat until the answer is tight instead of a
+// fixed -reps budget.
 package main
 
 import (
@@ -18,10 +22,11 @@ import (
 // exists because the paper's artifacts are indexed by figure number.
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate (1..6, table1, all)")
-		reps     = flag.Int("reps", 8, "repetitions for fig 6 (paper uses 24)")
-		seed     = flag.Int64("seed", 42, "base seed")
-		parallel = flag.Int("parallel", 0, "concurrent experiment cells (passed through to cloudbench)")
+		fig       = flag.String("fig", "all", "figure to regenerate (1..6, table1, all)")
+		reps      = flag.Int("reps", 8, "repetitions for fig 6 (paper uses 24)")
+		seed      = flag.Int64("seed", 42, "base seed")
+		parallel  = flag.Int("parallel", 0, "concurrent experiment cells (passed through to cloudbench)")
+		precision = flag.Float64("precision", 0, "adaptive precision target for fig 6 (passed through to cloudbench; 0 = fixed -reps)")
 	)
 	flag.Parse()
 
@@ -46,6 +51,9 @@ func main() {
 		"-reps", fmt.Sprint(*reps),
 		"-seed", fmt.Sprint(*seed),
 		"-parallel", fmt.Sprint(*parallel),
+	}
+	if *precision > 0 {
+		args = append(args, "-precision", fmt.Sprint(*precision))
 	}
 	var cmd *exec.Cmd
 	if sibling := siblingCloudbench(self); sibling != "" {

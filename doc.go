@@ -113,6 +113,47 @@
 //     oversubscribe the machine; when the budget is spent, inner
 //     cells simply run inline on their caller's worker.
 //
+// # Adaptive sampling
+//
+// The paper fixes every benchmark at 24 repetitions. core's adaptive
+// engine (RunCampaignAdaptive, Fig6MatrixAdaptive, LossSweepAdaptive,
+// LocationStudyAdaptive, DetectCapabilitiesAdaptive,
+// RunFullCampaignAdaptive) instead runs each cell until the answer is
+// tight: repetitions proceed in fixed-size batches (core.StopRule —
+// an opening batch of MinReps, then AdaptiveBatch at a time, capped
+// at MaxReps), each batch folds into an incremental Welford
+// accumulator (stats.Accumulator, O(batch) per check, mean
+// bit-identical to the batch formulas), and the cell stops once the
+// relative CI95 half-width of the headline metrics (completion,
+// goodput) is at or below the target. Confidence intervals use
+// Student-t critical values (stats.TQuantile95 — exact table to
+// df 30, Cornish–Fisher beyond), so small samples are not
+// overconfident. Batch boundaries are constants of the rule, never
+// derived from the worker count, and the tracker folds repetitions in
+// index order — the reps executed AND the resulting Summary are a
+// pure function of (seed, rule), bit-identical at any -parallel
+// setting. Fixed-rep campaigns remain the reference path.
+//
+// Two variance-reduction levers (core.VarianceReduction) hit the
+// target with fewer repetitions. Antithetic pairing gives rep 2k+1
+// its twin's seed on a complemented PCG stream (sim.NewAntitheticRNG)
+// and computes the stopping statistic over pair means; the mirroring
+// must survive the consumers, so RNG.Jitter reflects the accepted
+// uniform deviate (complemented raw words do not survive Int63n's
+// modulo) and RNG.Perm returns the reversed twin permutation (the
+// antithetic construction for discrete choices — a k-prefix consumer
+// like DNS server rotation sees the complementary end of the pool).
+// On the golden Cloud Drive cell that pairing is what turns the
+// far-server connection count — the variance driver — negatively
+// correlated across twins, reaching the fixed-24-rep precision in 16
+// repetitions (the benchsnap adaptive micro pins it). CRN gives every
+// service a common repetition seed stream in the multi-service
+// sweeps, so cross-service deltas are paired comparisons. Summaries
+// record RepsUsed and AchievedRelHW, adaptive campaign files record
+// the rule (precision, max_reps), and cmd/comparebench annotates each
+// delta with whether it fits inside the union of the two runs'
+// achieved confidence intervals.
+//
 // # Fleet engine
 //
 // core.RunFleet scales the per-client methodology to a service

@@ -1,14 +1,25 @@
 // Package core is a fixture stub of the campaign engine: a runner
-// whose summary fields count as engine metrics.
+// whose summary fields count as engine metrics, plus the run-shape
+// fields (repetition counts, stopping rule echoes) that do not.
 package core
 
 type Summary struct {
 	Reps         int
+	RepsUsed     int
 	Connections  int
 	TotalTraffic int64
 	Overhead     float64
 }
 
+type Campaign struct {
+	Precision float64
+	MaxReps   int
+}
+
 func RunCampaign(reps int) Summary {
-	return Summary{Reps: reps, Connections: reps, TotalTraffic: int64(reps) * 1000, Overhead: 1.1}
+	return Summary{Reps: reps, RepsUsed: reps, Connections: reps, TotalTraffic: int64(reps) * 1000, Overhead: 1.1}
+}
+
+func RunCampaignAdaptive(maxReps int) Campaign {
+	return Campaign{Precision: 0.05, MaxReps: maxReps}
 }

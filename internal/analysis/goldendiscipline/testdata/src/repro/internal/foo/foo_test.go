@@ -41,6 +41,24 @@ func TestHandBuiltInputExempt(t *testing.T) {
 	}
 }
 
+// TestRunShapeExempt pins the sampling design, not engine physics:
+// repetition counts and stopping-rule echoes are arithmetic over the
+// rule, which no golden refresh can move. The measurements those
+// repetitions produced are still pins (last assertion).
+func TestRunShapeExempt(t *testing.T) {
+	s := core.RunCampaign(12)
+	if s.RepsUsed != 12 { // run-shape: how many reps the rule spent
+		t.Fatal("reps used")
+	}
+	c := core.RunCampaignAdaptive(96)
+	if c.Precision != 0.05 || c.MaxReps != 96 { // run-shape: the rule itself
+		t.Fatal("rule")
+	}
+	if s.TotalTraffic != 12000 { // want `core\.Summary\.TotalTraffic`
+		t.Fatal("traffic")
+	}
+}
+
 func TestAudited(t *testing.T) {
 	s := core.RunCampaign(3)
 	//simlint:allow goldendiscipline -- fixture: structural count audited

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cloud"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// This file is the adaptive sampling engine: campaigns that run until
+// the answer is tight instead of until a fixed repetition budget runs
+// out (the sequential stopping design of "Sampling in Cloud
+// Benchmarking", PAPERS.md). A cell repeats in fixed-size batches,
+// folds each batch into an incremental precision tracker
+// (stats.Accumulator — O(batch) per check, not O(reps so far)), and
+// stops once the relative CI95 half-width of the headline metrics
+// (completion, goodput) is under target or a hard cap is hit.
+//
+// Determinism: the stopping decision is a pure function of (seed,
+// rule). Batch boundaries are fixed constants of the rule — never
+// derived from the worker count — and the tracker folds repetitions in
+// index order, so the reps executed and the resulting Summary are
+// bit-identical at any worker count; -parallel only changes
+// wall-clock time. Fixed-rep campaigns (RunCampaign, Fig6Matrix, ...)
+// remain the reference path, the way tcpsim keeps its event loop
+// behind Dialer.ForceEventLoop.
+
+// Default stopping parameters: stop when the headline means are known
+// to ±5%, never before 8 repetitions (below that the t critical value
+// explodes and one outlier flips the decision), never beyond 96.
+const (
+	DefaultTargetRelHW = 0.05
+	DefaultMinReps     = 8
+	DefaultMaxReps     = 96
+)
+
+// AdaptiveBatch is the growth step of the sequential design: after
+// the MinReps opening batch, repetitions are added this many at a
+// time between precision checks. It is a fixed constant — batch
+// boundaries gate the stopping test, so they must not depend on the
+// worker count or the decision would change with -parallel.
+const AdaptiveBatch = 4
+
+// StopRule is a sequential stopping design: run at least MinReps
+// repetitions, then keep adding batches until the relative CI95
+// half-width of every headline metric is at most TargetRelHW or
+// MaxReps is reached. Zero fields take the defaults above.
+type StopRule struct {
+	// TargetRelHW is the precision target: the CI95 half-width of
+	// the mean, relative to the magnitude of the mean.
+	TargetRelHW float64
+	// MinReps is the smallest sample the rule may stop at (>= 2, so
+	// a half-width exists; >= 4 under antithetic pairing).
+	MinReps int
+	// MaxReps is the hard budget cap.
+	MaxReps int
+}
+
+// withDefaults resolves zero fields and orders the bounds. vr widens
+// the minimum under antithetic pairing: the stopping statistic is
+// then computed over pair means, so a decision needs at least two
+// complete pairs, and bounds are rounded to whole pairs.
+func (r StopRule) withDefaults(vr VarianceReduction) StopRule {
+	if r.TargetRelHW <= 0 {
+		r.TargetRelHW = DefaultTargetRelHW
+	}
+	if r.MinReps <= 0 {
+		r.MinReps = DefaultMinReps
+	}
+	if r.MinReps < 2 {
+		r.MinReps = 2
+	}
+	if r.MaxReps <= 0 {
+		r.MaxReps = DefaultMaxReps
+	}
+	if vr.Antithetic {
+		r.MinReps += r.MinReps % 2
+		if r.MinReps < 4 {
+			r.MinReps = 4
+		}
+		r.MaxReps += r.MaxReps % 2
+	}
+	if r.MaxReps < r.MinReps {
+		r.MaxReps = r.MinReps
+	}
+	return r
+}
+
+// VarianceReduction selects the variance-reduction techniques the
+// index→seed discipline makes nearly free. Both shrink the achieved
+// half-width at equal repetitions — i.e. hit the target with fewer —
+// and both keep every stream per-cell deterministic.
+type VarianceReduction struct {
+	// Antithetic pairs repetitions: rep 2k+1 reuses rep 2k's seed on
+	// the complemented PCG stream (sim.NewAntitheticRNG), so its
+	// jitter draws mirror its twin's and pair means have less
+	// variance than two independent repetitions. The stopping
+	// statistic is computed over pair means.
+	Antithetic bool
+	// CRN gives every service the same repetition seed stream
+	// (common random numbers) in the multi-service sweeps, so
+	// cross-service Compare diffs are paired: services face
+	// identical noise and their difference is not inflated by it.
+	// The Fig. 6 matrix already has this property by construction
+	// (fig6Seed carries no service index).
+	CRN bool
+}
+
+// RunUntil is the generic batched sequential driver under every
+// adaptive layer. It evaluates run(0..) in fixed-size batches on the
+// shared worker pool (RunN) and consults stop after each batch with
+// that batch's results, in index order; stop reports whether the
+// accumulated sample satisfies the rule. The first batch has MinReps
+// cells, later ones AdaptiveBatch, the last is clipped to MaxReps —
+// all constants of the rule, so which repetitions execute is a pure
+// function of (rule, stop), independent of workers.
+func RunUntil[T any](rule StopRule, workers int, run func(rep int) T, stop func(batch []T) bool) []T {
+	rule = rule.withDefaults(VarianceReduction{})
+	results := make([]T, 0, rule.MinReps+AdaptiveBatch)
+	for len(results) < rule.MaxReps {
+		size := AdaptiveBatch
+		if len(results) == 0 {
+			size = rule.MinReps
+		}
+		if rest := rule.MaxReps - len(results); size > rest {
+			size = rest
+		}
+		base := len(results)
+		batch := RunN(size, workers, func(i int) T { return run(base + i) })
+		results = append(results, batch...)
+		if stop(batch) {
+			break
+		}
+	}
+	return results
+}
+
+// precisionTracker folds repetitions into the incremental stopping
+// statistic: one stats.Accumulator per headline metric, over raw
+// repetitions or — under antithetic pairing — over the means of
+// consecutive (plain, complemented) pairs.
+type precisionTracker struct {
+	pair                bool
+	pending             bool
+	pendC, pendG        float64
+	completion, goodput stats.Accumulator
+}
+
+func (t *precisionTracker) observe(m Metrics) {
+	c, g := float64(m.Completion), m.GoodputBps
+	if !t.pair {
+		t.completion.Add(c)
+		t.goodput.Add(g)
+		return
+	}
+	if !t.pending {
+		t.pendC, t.pendG, t.pending = c, g, true
+		return
+	}
+	t.completion.Add((t.pendC + c) / 2)
+	t.goodput.Add((t.pendG + g) / 2)
+	t.pending = false
+}
+
+// relHW is the current stopping statistic: the worst relative CI95
+// half-width over the headline metrics.
+func (t *precisionTracker) relHW() float64 {
+	r := t.completion.RelHalfWidth()
+	if g := t.goodput.RelHalfWidth(); g > r {
+		r = g
+	}
+	return r
+}
+
+// vrRNG builds the repetition's randomness root: the plain PCG stream,
+// or its complemented twin for the odd half of an antithetic pair.
+func vrRNG(seed int64, anti bool) *sim.RNG {
+	if anti {
+		return sim.NewAntitheticRNG(seed)
+	}
+	return sim.NewRNG(seed)
+}
+
+// adaptiveSummary runs one experiment cell under a stopping rule:
+// repSeed maps a repetition index to its seed (the cell's slice of
+// the index→seed discipline), cell executes one repetition on the
+// given randomness root. Under antithetic pairing rep 2k+1 reuses
+// rep 2k's seed on the complemented stream.
+func adaptiveSummary(rule StopRule, vr VarianceReduction, repSeed func(rep int) int64, cell func(rng *sim.RNG) Metrics) Summary {
+	rule = rule.withDefaults(vr)
+	tr := &precisionTracker{pair: vr.Antithetic}
+	runs := RunUntil(rule, CampaignWorkers, func(rep int) Metrics {
+		anti := false
+		if vr.Antithetic {
+			anti = rep%2 == 1
+			rep -= rep % 2
+		}
+		return cell(vrRNG(repSeed(rep), anti))
+	}, func(batch []Metrics) bool {
+		for _, m := range batch {
+			tr.observe(m)
+		}
+		return tr.relHW() <= rule.TargetRelHW
+	})
+	s := Summarize(runs)
+	// The per-rep summary stands, but the achieved precision is the
+	// statistic the rule actually tested (pair means under
+	// antithetic), so the recorded value is the one that gated
+	// stopping.
+	s.AchievedRelHW = tr.relHW()
+	return s
+}
+
+// runSyncRNG is the synchronization benchmark repetition generalised
+// over its randomness root: RunSync / RunSyncFrom / RunSyncLossy with
+// an explicit RNG, so adaptive cells can inject antithetic streams.
+// loss <= 0 leaves the path clean.
+func runSyncRNG(p client.Profile, batch workload.Batch, host *netem.Host, rng *sim.RNG, jitter, loss float64) Metrics {
+	tb := assembleTestbed(p, cloud.SpecFor(p.Service), host, rng, jitter, true)
+	if loss > 0 {
+		tb.Net.LossRate = loss
+	}
+	start := tb.Settle()
+	t0 := tb.Clock.Now()
+	tb.StartWindow(t0)
+	batch.Materialize(tb.Folder, tb.RNG, t0, "bench")
+	res := tb.Client.SyncChanges(tb.Folder, start.Add(-time.Second))
+	tb.Clock.AdvanceTo(res.Done)
+	return MeasureWindow(tb, t0, batch.Total())
+}
+
+// RunCampaignAdaptive is RunCampaign with a stopping rule: the same
+// campaignSeed repetition stream as the fixed-rep engine (rep k of an
+// adaptive run is bit-identical to rep k of a plain campaign when vr
+// is zero), stopped as soon as the precision target is met.
+func RunCampaignAdaptive(p client.Profile, batch workload.Batch, rule StopRule, vr VarianceReduction, baseSeed int64) Summary {
+	return adaptiveSummary(rule, vr,
+		func(rep int) int64 { return campaignSeed(baseSeed, rep) },
+		func(rng *sim.RNG) Metrics { return runSyncRNG(p, batch, campusHost(), rng, DefaultJitter, 0) })
+}
+
+// Fig6MatrixAdaptive is Fig6Matrix under a stopping rule: every
+// (service, workload) cell runs its own sequential design, so
+// low-variance cells release their budget early while noisy cells
+// keep sampling up to the cap. Cells fan out over the shared pool and
+// each cell's inner batches draw from the same budget. Note the
+// fig6Seed stream carries no service index, so common random numbers
+// across services hold here with or without vr.CRN.
+func Fig6MatrixAdaptive(profiles []client.Profile, rule StopRule, vr VarianceReduction, seed int64) []Fig6Result {
+	return fig6Adaptive(profiles, campusHost, rule, vr, seed)
+}
+
+// fig6Adaptive is the host-generic body of Fig6MatrixAdaptive, shared
+// with the campaign path that benchmarks from an arbitrary vantage.
+func fig6Adaptive(profiles []client.Profile, host func() *netem.Host, rule StopRule, vr VarianceReduction, seed int64) []Fig6Result {
+	batches := workload.StandardBenchmarks(workload.Binary)
+	out := make([]Fig6Result, len(profiles))
+	for si, p := range profiles {
+		out[si] = Fig6Result{Service: p.Service, Workloads: batches, Summaries: make([]Summary, len(batches))}
+	}
+	RunEach(len(profiles)*len(batches), CampaignWorkers, func(i int) {
+		si, wi := i/len(batches), i%len(batches)
+		out[si].Summaries[wi] = adaptiveSummary(rule, vr,
+			func(rep int) int64 { return fig6Seed(seed, wi, rep) },
+			func(rng *sim.RNG) Metrics {
+				return runSyncRNG(profiles[si], batches[wi], host(), rng, DefaultJitter, 0)
+			})
+	})
+	return out
+}
+
+// LossSweepAdaptive is LossSweep under a stopping rule. With vr.CRN
+// every service draws the same per-(rate, repetition) seed stream, so
+// service-vs-service deltas at one loss rate are paired comparisons.
+func LossSweepAdaptive(profiles []client.Profile, rates []float64, batch workload.Batch, v Vantage, rule StopRule, vr VarianceReduction, seed int64) []LossCell {
+	out := make([]LossCell, len(profiles)*len(rates))
+	RunEach(len(out), CampaignWorkers, func(i int) {
+		si, ri := i/len(rates), i%len(rates)
+		seedSvc := si
+		if vr.CRN {
+			seedSvc = 0
+		}
+		out[i] = LossCell{
+			Service:  profiles[si].Service,
+			LossRate: rates[ri],
+			Workload: batch,
+			Summary: adaptiveSummary(rule, vr,
+				func(rep int) int64 { return lossSweepSeed(seed, seedSvc, ri, rep) },
+				func(rng *sim.RNG) Metrics {
+					return runSyncRNG(profiles[si], batch, vantageHost(v), rng, DefaultJitter, rates[ri])
+				}),
+		}
+	})
+	return out
+}
+
+// LocationSummary is one (service, vantage) cell of an adaptive
+// location study: a full Summary with achieved precision, where the
+// fixed-rep LocationStudy reports a single jitter-free repetition.
+type LocationSummary struct {
+	Service string
+	Vantage string
+	Summary Summary
+}
+
+// locationSeed spreads location-study cells across the seed space;
+// with vr.CRN the service term is dropped so every service faces the
+// same noise at each vantage.
+func locationSeed(seed int64, si, vi int, crn bool) int64 {
+	base := seed + int64(vi)*500009
+	if !crn {
+		base += int64(si) * 1000003
+	}
+	return base
+}
+
+// LocationStudyAdaptive benchmarks every service from every vantage
+// under a stopping rule. Unlike the single-shot LocationStudy it
+// repeats with the campaign jitter (DefaultJitter) — an adaptive cell
+// without dispersion would trivially stop at MinReps — and reports
+// per-cell summaries with achieved precision.
+func LocationStudyAdaptive(batch workload.Batch, vantages []Vantage, rule StopRule, vr VarianceReduction, seed int64) []LocationSummary {
+	profiles := client.Profiles()
+	out := make([]LocationSummary, len(profiles)*len(vantages))
+	RunEach(len(out), CampaignWorkers, func(i int) {
+		si, vi := i/len(vantages), i%len(vantages)
+		out[i] = LocationSummary{
+			Service: profiles[si].Service,
+			Vantage: vantages[vi].Name,
+			Summary: adaptiveSummary(rule, vr,
+				func(rep int) int64 { return campaignSeed(locationSeed(seed, si, vi, vr.CRN), rep) },
+				func(rng *sim.RNG) Metrics {
+					return runSyncRNG(profiles[si], batch, vantageHost(vantages[vi]), rng, DefaultJitter, 0)
+				}),
+		}
+	})
+	return out
+}
+
+// CapabilityConfidence is an adaptively repeated Table 1 row: the
+// detected capabilities, whether every probe seed agreed, and the
+// precision achieved on the continuous detection statistic.
+type CapabilityConfidence struct {
+	Capabilities Capabilities
+	// Unanimous reports whether every repetition detected identical
+	// capabilities; a false value means the detectors are
+	// seed-sensitive for this profile.
+	Unanimous bool
+	// RepsUsed and AchievedRelHW describe the sequential design over
+	// ConnsPerFile (the Sect. 4.2 bundling statistic, the one
+	// continuous detector output).
+	RepsUsed      int
+	AchievedRelHW float64
+}
+
+// DetectCapabilitiesAdaptive repeats the Sect. 4 detection suite
+// across a campaignSeed-derived seed stream until the continuous
+// bundling statistic (connections per file) is tight, reporting
+// whether the boolean verdicts were unanimous across probes. It is
+// capcheck's -precision mode: detection robustness quantified instead
+// of assumed from a single seed.
+func DetectCapabilitiesAdaptive(p client.Profile, rule StopRule, seed int64) CapabilityConfidence {
+	rule = rule.withDefaults(VarianceReduction{})
+	type probe struct {
+		caps  Capabilities
+		conns float64
+	}
+	var acc stats.Accumulator
+	probes := RunUntil(rule, CampaignWorkers, func(rep int) probe {
+		s := campaignSeed(seed, rep)
+		return probe{caps: DetectCapabilities(p, s), conns: DetectBundling(p, s).ConnsPerFile}
+	}, func(batch []probe) bool {
+		for _, pr := range batch {
+			acc.Add(pr.conns)
+		}
+		return acc.RelHalfWidth() <= rule.TargetRelHW
+	})
+	out := CapabilityConfidence{
+		Capabilities:  probes[0].caps,
+		Unanimous:     true,
+		RepsUsed:      len(probes),
+		AchievedRelHW: acc.RelHalfWidth(),
+	}
+	for _, pr := range probes[1:] {
+		if pr.caps != out.Capabilities {
+			out.Unanimous = false
+		}
+	}
+	return out
+}
+
+// RunFullCampaignAdaptive is RunFullCampaign under a stopping rule:
+// the Fig. 6 and loss-sweep sections run their cells adaptively and
+// the campaign records the rule (Precision, MaxReps) alongside the
+// per-cell achieved precision, so snapshots are comparable at equal
+// confidence. The idle section is a single deterministic timeline and
+// runs as before.
+func RunFullCampaignAdaptive(vantage Vantage, rule StopRule, vr VarianceReduction, seed int64) Campaign {
+	rule = rule.withDefaults(vr)
+	c := Campaign{
+		Tool: ToolVersion, Vantage: vantage.Name,
+		Seed:      seed,
+		Precision: rule.TargetRelHW, MaxReps: rule.MaxReps,
+		CreatedAt: sim.Epoch,
+	}
+	c.Fig6 = fig6Adaptive(client.Profiles(), func() *netem.Host { return vantageHost(vantage) }, rule, vr, seed)
+	for _, p := range client.Profiles() {
+		c.Idle = append(c.Idle, RunIdle(p, seed))
+	}
+	c.Lossy = LossSweepAdaptive(client.Profiles(), DefaultLossRates, DefaultLossBatch, vantage, rule, vr, seed)
+	return c
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/stats"
@@ -49,6 +50,17 @@ type Summary struct {
 	MeanOverhead     float64
 	MeanConnections  float64
 	MedianGoodputBps float64
+	// RepsUsed is how many repetitions actually ran. For fixed-rep
+	// campaigns it equals Reps; an adaptive campaign (RunCampaignAdaptive)
+	// stops early when the precision target is met, so snapshots record
+	// the spent budget alongside the result.
+	RepsUsed int
+	// AchievedRelHW is the achieved relative precision: the largest
+	// CI95 half-width over the headline metrics (completion, goodput),
+	// relative to the magnitude of the respective mean. Adaptive runs
+	// stop when it reaches the target; fixed-rep runs report it so two
+	// snapshots can be compared at equal confidence.
+	AchievedRelHW float64
 }
 
 // Summarize aggregates a set of repetitions. It panics on an empty
@@ -59,6 +71,7 @@ func Summarize(runs []Metrics) Summary {
 	}
 	var s Summary
 	s.Reps = len(runs)
+	s.RepsUsed = len(runs)
 	var startups, completions, goodputs []float64
 	for _, r := range runs {
 		startups = append(startups, float64(r.Startup))
@@ -84,5 +97,20 @@ func Summarize(runs []Metrics) Summary {
 	s.MedianCompletion = time.Duration(stats.Median(completions))
 	s.P95Completion = time.Duration(stats.Percentile(completions, 95))
 	s.MedianGoodputBps = stats.Median(goodputs)
+	s.AchievedRelHW = math.Max(relHalfWidth(completions), relHalfWidth(goodputs))
 	return s
+}
+
+// relHalfWidth is the batch form of stats.Accumulator.RelHalfWidth:
+// the CI95 half-width relative to the magnitude of the mean, 0 for a
+// degenerate (zero-spread) sample, +Inf for a zero mean with spread.
+func relHalfWidth(v []float64) float64 {
+	mean, hw := stats.MeanCI95(v)
+	if hw == 0 {
+		return 0
+	}
+	if mean == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(hw / mean)
 }

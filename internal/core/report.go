@@ -112,6 +112,59 @@ func Fig6Report(results []Fig6Result) string {
 	return b.String()
 }
 
+// PrecisionReport renders the sampling side of an adaptive Fig. 6
+// run: repetitions spent and achieved relative precision per cell, so
+// a reader can see where the budget went and which cells hit the cap.
+func PrecisionReport(results []Fig6Result) string {
+	if len(results) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nsampling: reps used (achieved relative CI95 half-width)\n%-14s", "service")
+	for _, w := range results[0].Workloads {
+		fmt.Fprintf(&b, "%16s", w.String())
+	}
+	b.WriteByte('\n')
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-14s", displayName(r.Service))
+		for _, s := range r.Summaries {
+			fmt.Fprintf(&b, "%6d (%6.2f%%)", s.RepsUsed, s.AchievedRelHW*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LocationSummaryReport renders an adaptive location study: mean
+// completion per (service, vantage) with the repetitions each cell
+// needed to reach the precision target.
+func LocationSummaryReport(cells []LocationSummary, vantages []Vantage) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "service")
+	for _, v := range vantages {
+		fmt.Fprintf(&b, "%20s", v.Name)
+	}
+	b.WriteByte('\n')
+	bySvc := map[string]map[string]Summary{}
+	var order []string
+	for _, c := range cells {
+		if bySvc[c.Service] == nil {
+			bySvc[c.Service] = map[string]Summary{}
+			order = append(order, c.Service)
+		}
+		bySvc[c.Service][c.Vantage] = c.Summary
+	}
+	for _, svc := range order {
+		fmt.Fprintf(&b, "%-14s", displayName(svc))
+		for _, v := range vantages {
+			s := bySvc[svc][v.Name]
+			fmt.Fprintf(&b, "%12.2fs (%2d r)", s.MeanCompletion.Seconds(), s.RepsUsed)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // Fig1Report renders login volume and idle rate per service
 // (Sect. 3.1's numbers behind Fig. 1).
 func Fig1Report(results []IdleResult) string {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -20,10 +21,17 @@ import (
 // results from different locations" — needs results that live past
 // the process.
 type Campaign struct {
-	Tool      string       `json:"tool"`
-	Vantage   string       `json:"vantage"`
-	Seed      int64        `json:"seed"`
-	Reps      int          `json:"reps"`
+	Tool    string `json:"tool"`
+	Vantage string `json:"vantage"`
+	Seed    int64  `json:"seed"`
+	Reps    int    `json:"reps"`
+	// Precision and MaxReps record the stopping rule of an adaptive
+	// campaign (RunFullCampaignAdaptive): the relative half-width
+	// target and the repetition cap. Fixed-rep campaigns leave them
+	// zero; the per-cell Summaries carry the achieved precision
+	// either way (AchievedRelHW, RepsUsed).
+	Precision float64      `json:"precision,omitempty"`
+	MaxReps   int          `json:"max_reps,omitempty"`
 	CreatedAt time.Time    `json:"created_at"`
 	Fig6      []Fig6Result `json:"fig6"`
 	Idle      []IdleResult `json:"idle,omitempty"`
@@ -64,6 +72,15 @@ type Delta struct {
 	A, B     float64
 	// Ratio is B/A; 1.0 means unchanged.
 	Ratio float64
+	// CIUnion is the sum of the two cells' achieved CI95 half-widths
+	// for this metric — the widest gap two runs of the same system
+	// would plausibly show. Zero when the metric has no recorded
+	// interval (overhead, presence deltas, pre-precision snapshots).
+	CIUnion float64
+	// WithinCI reports |B-A| <= CIUnion for a delta that has one:
+	// the disagreement is inside what the two runs' own precision
+	// explains, so it is noise at the recorded confidence, not drift.
+	WithinCI bool
 }
 
 // campaignIndex flattens a campaign's compared cells into a
@@ -121,7 +138,7 @@ func Compare(a, b Campaign, threshold float64) []Delta {
 	for _, k := range keys {
 		sa, sb := ia[k], ib[k]
 		parts := strings.SplitN(k, "|", 2)
-		check := func(metric string, va, vb float64) {
+		check := func(metric string, va, vb, ciUnion float64) {
 			if va <= 0 || vb <= 0 {
 				return
 			}
@@ -130,12 +147,16 @@ func Compare(a, b Campaign, threshold float64) []Delta {
 				out = append(out, Delta{
 					Service: parts[0], Workload: parts[1],
 					Metric: metric, A: va, B: vb, Ratio: ratio,
+					CIUnion: ciUnion,
+					WithinCI: ciUnion > 0 &&
+						math.Abs(vb-va) <= ciUnion,
 				})
 			}
 		}
-		check("completion_s", sa.MeanCompletion.Seconds(), sb.MeanCompletion.Seconds())
-		check("startup_s", sa.MeanStartup.Seconds(), sb.MeanStartup.Seconds())
-		check("overhead_x", sa.MeanOverhead, sb.MeanOverhead)
+		check("completion_s", sa.MeanCompletion.Seconds(), sb.MeanCompletion.Seconds(),
+			sa.CI95Completion.Seconds()+sb.CI95Completion.Seconds())
+		check("startup_s", sa.MeanStartup.Seconds(), sb.MeanStartup.Seconds(), 0)
+		check("overhead_x", sa.MeanOverhead, sb.MeanOverhead, 0)
 	}
 
 	// A change in the compared surface itself is drift too: cells
@@ -166,17 +187,28 @@ func Compare(a, b Campaign, threshold float64) []Delta {
 	return out
 }
 
-// DeltaReport renders comparison results.
+// DeltaReport renders comparison results. Deltas that carry an
+// achieved confidence interval are annotated with whether the
+// disagreement fits inside the union of the two runs' CIs —
+// precision-aware drift flagging instead of raw-number comparison.
 func DeltaReport(deltas []Delta) string {
 	if len(deltas) == 0 {
 		return "no significant differences\n"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s%-12s%-14s%12s%12s%9s\n",
-		"service", "workload", "metric", "A", "B", "B/A")
+	fmt.Fprintf(&b, "%-14s%-12s%-14s%12s%12s%9s  %s\n",
+		"service", "workload", "metric", "A", "B", "B/A", "vs-CI")
 	for _, d := range deltas {
-		fmt.Fprintf(&b, "%-14s%-12s%-14s%12.3f%12.3f%9.2f\n",
-			d.Service, d.Workload, d.Metric, d.A, d.B, d.Ratio)
+		note := ""
+		if d.CIUnion > 0 {
+			if d.WithinCI {
+				note = "within-ci"
+			} else {
+				note = "exceeds-ci"
+			}
+		}
+		fmt.Fprintf(&b, "%-14s%-12s%-14s%12.3f%12.3f%9.2f  %s\n",
+			d.Service, d.Workload, d.Metric, d.A, d.B, d.Ratio, note)
 	}
 	return b.String()
 }

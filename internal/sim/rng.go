@@ -44,8 +44,27 @@ func NewLegacyRNG(seed int64) *RNG {
 	return &RNG{Rand: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
+// NewAntitheticRNG returns the mirror of NewRNG(seed): the same PCG
+// engine and state schedule, but every 64-bit output is bitwise
+// complemented. Uniform draws reflect across the midpoint (Int63
+// becomes 2^63-1-Int63, Float64 becomes ~1-Float64), so a simulation
+// driven by the antithetic stream sees jitter negatively correlated
+// with its NewRNG(seed) twin — the classical antithetic-variates
+// construction the adaptive campaign driver uses to shrink the
+// variance of pair means. Children keep the mask: Fork of an
+// antithetic source is the antithetic of Fork of the plain source.
+func NewAntitheticRNG(seed int64) *RNG {
+	p := newPCG(seed)
+	p.mask = ^uint64(0)
+	return &RNG{Rand: rand.New(p), seed: seed, pcg: p}
+}
+
 // Seed returns the seed this source was created with.
 func (r *RNG) Seed() int64 { return r.seed }
+
+// Antithetic reports whether this source complements its output
+// stream (see NewAntitheticRNG). Legacy sources never do.
+func (r *RNG) Antithetic() bool { return r.pcg != nil && r.pcg.mask != 0 }
 
 // Legacy reports whether this source runs on the legacy math/rand
 // engine rather than the default PCG engine.
@@ -71,21 +90,81 @@ func (r *RNG) Fork(label int64) *RNG {
 	if r.pcg == nil {
 		return NewLegacyRNG(seed)
 	}
+	if r.pcg.mask != 0 {
+		return NewAntitheticRNG(seed)
+	}
 	return NewRNG(seed)
 }
 
 // Jitter returns a duration uniformly distributed in [base-spread/2,
 // base+spread/2], never below zero. It models measurement noise such as
 // scheduling delay in the test computer.
+//
+// On an antithetic stream the deviate is the exact reflection of what
+// the plain twin draws (spread-1-x), so paired repetitions see
+// mirrored noise. The reflection must be applied to the uniform
+// deviate, not inherited from the complemented words: Int63n reduces
+// v % n, and the complement of v maps to (M - x) mod n with
+// M = (2^63-1) mod n — a reflection around a spread-dependent pivot
+// whose correlation with x averages to zero over arbitrary spreads,
+// which would silently void the variance reduction.
 func (r *RNG) Jitter(base, spread int64) int64 {
 	if spread <= 0 {
 		return base
 	}
-	v := base - spread/2 + r.Int63n(spread)
+	v := base - spread/2 + r.uniformPaired(spread)
 	if v < 0 {
 		v = 0
 	}
 	return v
+}
+
+// uniformPaired draws uniformly from [0, n) such that the antithetic
+// stream yields exactly n-1-x when the plain stream yields x. On a
+// plain or legacy stream it is Int63n. On an antithetic stream it
+// replays math/rand's Int63n — same word consumption, including the
+// rejection loop — on the un-complemented words, then reflects the
+// accepted deviate, so the two streams stay step-aligned.
+func (r *RNG) uniformPaired(n int64) int64 {
+	if r.pcg == nil || r.pcg.mask == 0 {
+		return r.Int63n(n)
+	}
+	if n&(n-1) == 0 {
+		// Power-of-two masks already reflect bit-by-bit.
+		return r.Int63n(n)
+	}
+	p := r.pcg
+	max := int64(1<<63 - 1 - (1<<63)%uint64(n))
+	v := int64(^p.Uint64() >> 1) // the plain twin's draw
+	for v > max {
+		v = int64(^p.Uint64() >> 1)
+	}
+	return n - 1 - v%n
+}
+
+// Perm returns a pseudo-random permutation of [0, n). On plain and
+// legacy streams it is math/rand's Perm unchanged. On an antithetic
+// stream it returns the REVERSE of the plain twin's permutation,
+// consuming the same stream steps: complementing the raw words would
+// just produce an unrelated permutation (the complement does not
+// survive Fisher-Yates' modular index draws), whereas the reversal is
+// the antithetic construction for discrete choices — a consumer that
+// takes a k-prefix of the permutation (e.g. DNS answer rotation)
+// receives the complementary end of the pool, so rare-outcome draws
+// are negatively correlated across an antithetic pair.
+func (r *RNG) Perm(n int) []int {
+	if r.pcg == nil || r.pcg.mask == 0 {
+		return r.Rand.Perm(n)
+	}
+	// Replay the plain twin: an unmasked view of the same PCG state,
+	// advanced in lockstep so both streams stay aligned.
+	plain := &pcg{state: r.pcg.state, inc: r.pcg.inc}
+	p := rand.New(plain).Perm(n)
+	r.pcg.state = plain.state
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
 }
 
 // Bytes fills and returns a new buffer of n random bytes.
@@ -127,6 +206,7 @@ func (r *RNG) Fill(dst []byte) {
 type pcg struct {
 	state uint64
 	inc   uint64 // stream selector; must be odd
+	mask  uint64 // xor applied to every output: 0, or ^0 for antithetic
 }
 
 // newPCG builds a generator from a seed via two SplitMix64 rounds: one
@@ -152,7 +232,7 @@ func (p *pcg) Uint64() uint64 {
 	old := p.state
 	p.state = old*6364136223846793005 + p.inc
 	word := ((old >> ((old >> 59) + 5)) ^ old) * 12605985483714917081
-	return (word >> 43) ^ word
+	return ((word >> 43) ^ word) ^ p.mask
 }
 
 // Int63 makes pcg a rand.Source.

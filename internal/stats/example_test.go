@@ -17,5 +17,5 @@ func ExamplePercentile() {
 	// Output:
 	// median 1.35
 	// p95    3.26
-	// mean   1.70 +/- 0.67
+	// mean   1.70 +/- 0.80
 }

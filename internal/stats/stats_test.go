@@ -33,9 +33,48 @@ func TestMeanStdKnown(t *testing.T) {
 func TestMeanCI95UsesSampleStd(t *testing.T) {
 	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
 	_, hw := MeanCI95(v)
-	want := 1.96 * math.Sqrt(32.0/7) / math.Sqrt(8)
+	// n=8, so the multiplier is the Student-t critical value at 7
+	// degrees of freedom, not the normal-approximation 1.96.
+	want := 2.3646 * math.Sqrt(32.0/7) / math.Sqrt(8)
 	if !approx(hw, want, 1e-12) {
-		t.Fatalf("CI half-width = %v, want %v (sample-std based)", hw, want)
+		t.Fatalf("CI half-width = %v, want %v (t-based, sample-std based)", hw, want)
+	}
+}
+
+func TestTQuantile95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+		eps  float64
+	}{
+		{1, 12.7062, 1e-12}, // table entries are exact
+		{7, 2.3646, 1e-12},
+		{23, 2.0687, 1e-12}, // the paper's n=24 campaigns
+		{30, 2.0423, 1e-12},
+		{40, 2.0211, 5e-4}, // expansion region, vs published tables
+		{60, 2.0003, 5e-4},
+		{120, 1.9799, 5e-4},
+		{100000, 1.9600, 5e-4},
+	}
+	for _, c := range cases {
+		if got := TQuantile95(c.df); !approx(got, c.want, c.eps) {
+			t.Errorf("TQuantile95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if got := TQuantile95(0); got != z975 {
+		t.Errorf("TQuantile95(0) = %v, want normal limit", got)
+	}
+	// Monotone decreasing toward the normal limit.
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		got := TQuantile95(df)
+		if got > prev {
+			t.Fatalf("TQuantile95 not decreasing at df=%d: %v > %v", df, got, prev)
+		}
+		if got < z975 {
+			t.Fatalf("TQuantile95(%d) = %v below normal limit", df, got)
+		}
+		prev = got
 	}
 }
 

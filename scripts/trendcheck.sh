@@ -26,6 +26,16 @@
 #
 # CI runs this on every push, reusing the snapshot it just recorded.
 #
+# Run-shape metadata is not drift: snapshots also record how the
+# sample was produced — per-cell RepsUsed and AchievedRelHW, and for
+# adaptive campaigns the stopping rule (precision, max_reps). Those
+# fields describe the sampling design, not simulated behaviour, and
+# comparebench deliberately diffs only the metric means, so a snapshot
+# recorded at fixed reps and one recorded adaptively can share a
+# baseline history. Deltas that carry achieved confidence intervals
+# are additionally annotated within-ci / exceeds-ci in the report —
+# context for reading a failure, not a gate condition.
+#
 # Usage: scripts/trendcheck.sh [threshold] [snapshot.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
