@@ -189,12 +189,32 @@ type fleetMicro struct {
 	DedupRatio      float64 `json:"dedup_ratio"`
 	Identical       bool    `json:"identical"`
 
+	// Allocation footprint of the hot path: heap bytes and mallocs
+	// per simulated session over one sequential day, store and log
+	// setup included (the same quantity the core allocation-ceiling
+	// test gates).
+	BPerSession      float64 `json:"b_per_session"`
+	AllocsPerSession float64 `json:"allocs_per_session"`
+
 	Populations []core.FleetPopulationPoint `json:"populations"`
 
 	StoreHammer          string  `json:"store_hammer"`
 	ShardedPutsPerSec    float64 `json:"sharded_puts_per_sec"`
 	SingleLockPutsPerSec float64 `json:"single_lock_puts_per_sec"`
 	ShardSpeedupX        float64 `json:"shard_speedup_x"`
+
+	// HammerCurve is the full contention sweep behind the headline
+	// pair: the same PutHashed mix at every (goroutines, shards)
+	// combination, so a scaling regression shows where it starts, not
+	// just at the endpoint.
+	HammerCurve []hammerPoint `json:"hammer_curve"`
+}
+
+// hammerPoint is one cell of the store hammer sweep.
+type hammerPoint struct {
+	Goroutines int     `json:"goroutines"`
+	Shards     int     `json:"shards"`
+	PutsPerSec float64 `json:"puts_per_sec"`
 }
 
 type micro struct {
@@ -443,7 +463,12 @@ func fleetMicroBench(seed int64) fleetMicro {
 
 	var res core.FleetResult
 	wall := minWall(2, func() { res = core.RunFleet(cfg(), 0) })
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
 	seqRes := core.RunFleet(cfg(), 1)
+	runtime.ReadMemStats(&after)
 
 	m := fleetMicro{
 		Workload:   "10k users x 1 service day, default class mix",
@@ -457,22 +482,31 @@ func fleetMicroBench(seed int64) fleetMicro {
 	if secs := wall.Seconds(); secs > 0 {
 		m.UsersPerSecCore = float64(users) / secs / float64(runtime.GOMAXPROCS(0))
 	}
+	if s := seqRes.Sessions; s > 0 {
+		m.BPerSession = float64(after.TotalAlloc-before.TotalAlloc) / float64(s)
+		m.AllocsPerSession = float64(after.Mallocs-before.Mallocs) / float64(s)
+	}
 
-	// Store hammer: the same concurrent PutHashed mix on both lock
-	// layouts. 70% of ops hit a small contended hash set, the rest are
-	// per-goroutine unique — the fleet's popular-catalog access shape.
+	// Store hammer: the same concurrent PutHashed mix swept over
+	// goroutine counts and lock layouts. 70% of ops hit a small
+	// contended hash set, the rest are per-goroutine unique — the
+	// fleet's popular-catalog access shape.
 	const (
-		goroutines = 8
-		opsPerG    = 200_000
-		hotSet     = 512
+		opsPerG = 200_000
+		hotSet  = 512
 	)
-	hammer := func(shards int) float64 {
+	hammer := func(goroutines, shards int) float64 {
 		hot := make([]dedup.Hash, hotSet)
 		rng := sim.NewRNG(seed)
 		for i := range hot {
 			rng.Fill(hot[i][:])
 		}
-		s := dedup.NewStoreSharded(shards)
+		s := dedup.NewStoreShardedSized(shards, hotSet+goroutines*256)
+		// Settle the heap first: the hammer follows allocation-heavy
+		// micros in the same process, and a GC cycle landing inside
+		// one layout's timing but not the other's would skew the
+		// speedup ratio.
+		runtime.GC()
 		wall := minWall(3, func() {
 			var wg sync.WaitGroup
 			for g := 0; g < goroutines; g++ {
@@ -497,10 +531,27 @@ func fleetMicroBench(seed int64) fleetMicro {
 		})
 		return float64(goroutines*opsPerG) / wall.Seconds()
 	}
-	m.StoreHammer = fmt.Sprintf("%d goroutines x %dk PutHashed, 70%% on %d hot hashes",
-		goroutines, opsPerG/1000, hotSet)
-	m.ShardedPutsPerSec = hammer(64)
-	m.SingleLockPutsPerSec = hammer(1)
+	for _, goroutines := range []int{1, 2, 4, 8} {
+		for _, shards := range []int{1, 16, 64} {
+			m.HammerCurve = append(m.HammerCurve, hammerPoint{
+				Goroutines: goroutines,
+				Shards:     shards,
+				PutsPerSec: hammer(goroutines, shards),
+			})
+		}
+	}
+	// Headline pair: the 8-goroutine endpoint of the curve, kept as
+	// flat fields so dashboards and trend tooling read one number.
+	m.StoreHammer = fmt.Sprintf("{1,2,4,8} goroutines x %dk PutHashed x {1,16,64} shards, 70%% on %d hot hashes",
+		opsPerG/1000, hotSet)
+	for _, p := range m.HammerCurve {
+		if p.Goroutines == 8 && p.Shards == 64 {
+			m.ShardedPutsPerSec = p.PutsPerSec
+		}
+		if p.Goroutines == 8 && p.Shards == 1 {
+			m.SingleLockPutsPerSec = p.PutsPerSec
+		}
+	}
 	if m.SingleLockPutsPerSec > 0 {
 		m.ShardSpeedupX = m.ShardedPutsPerSec / m.SingleLockPutsPerSec
 	}

@@ -10,18 +10,25 @@
 //
 //	fleetbench [-users N] [-seed N] [-day D] [-bucket D] [-shards N]
 //	           [-parallel N] [-populations N,N,...] [-out FILE]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // Typical runs:
 //
 //	fleetbench -users 100000                      # one service day, JSON to stdout
 //	fleetbench -users 1000000 -bucket 5m          # million-user day, coarser curve
 //	fleetbench -populations 1000,10000,100000     # dedup ratio vs fleet size
+//	fleetbench -users 50000 -cpuprofile cpu.pprof # profile the engine hot path
 //
 // The JSON report contains only simulated quantities, so two runs with
 // the same flags are byte-identical whatever -parallel says — the CI
 // fleet smoke (scripts/fleetsmoke.sh) pins exactly that by comparing
-// -parallel 1 against -parallel 8 outputs. Wall-clock timing goes to
-// stderr, where it cannot perturb the comparison.
+// -parallel 1 against -parallel 8 outputs, and likewise -shards 1
+// against -shards 64. Wall-clock timing goes to stderr, where it
+// cannot perturb the comparison.
+//
+// -cpuprofile and -memprofile write standard runtime/pprof profiles
+// (inspect with go tool pprof); the heap profile is taken at exit
+// after a GC, so it reflects retention, not transient churn.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -62,15 +70,45 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "worker cap (0 = shared budget, 1 = sequential)")
 		populations = flag.String("populations", "", "comma-separated fleet sizes to sweep (fresh backend each)")
 		out         = flag.String("out", "", "output path (default stdout)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile  = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	cfg := core.FleetConfig{
 		Users:  *users,
 		Seed:   *seed,
 		Day:    *day,
 		Bucket: *bucket,
-		Store:  dedup.NewStoreSharded(*shards),
+		Store:  dedup.NewStoreShardedSized(*shards, core.FleetChunkHint(*users, *day)),
 	}
 	rep := report{
 		Users:  *users,

@@ -173,19 +173,41 @@
 // through an event heap.
 //
 // The backend is dedup.Store, sharded by content-hash prefix with one
-// striped RWMutex and one counter set per shard — a single global lock
-// under a concurrent fleet serialises every chunk lookup; shard
-// counters are aggregated on read. Cross-user dedup under parallelism
-// runs as a claim/resolve protocol: a first pass claims every chunk
-// with its session's (virtual instant, user) pair and the store keeps
-// the earliest claim — a pure function of offered load, whatever the
-// execution interleaving — then a bit-exact replay charges each upload
-// to its claim winner, reproducing the sequential virtual-time outcome
-// on all cores. cmd/fleetbench reports the service-side load curves
-// (bytes/s, concurrent connections, dedup ratio vs population size),
-// the benchsnap fleet micro pins users/sec/core and sharded-vs-single-
-// lock store throughput, and scripts/fleetsmoke.sh byte-compares
-// fleetbench reports across worker counts in CI.
+// plain mutex per shard — a single global lock under a concurrent
+// fleet serialises every chunk lookup, and every hot-path store
+// operation writes, so reader/writer bookkeeping buys nothing.
+// Counters are per-shard atomics read without any lock; chunk entries
+// live in pointer-free slab arenas addressed by index, so the garbage
+// collector never scans the store's bulk state, and each entry folds
+// the chunk's size together with its earliest claim, so one map access
+// serves both.
+//
+// Cross-user dedup under parallelism runs as a one-pass claim/resolve
+// protocol. The claim pass generates the day once: each session claims
+// its chunks with its (virtual instant, user) pair — batched per
+// (session, shard) group so a batch pays one lock acquisition
+// (dedup.Store.ClaimBatch) — and the store keeps the earliest claim
+// per chunk, a pure function of offered load whatever the execution
+// interleaving. While claiming, each stripe records its session stream
+// (users, instants, chunk hash/size runs, and each chunk's claimed
+// store ref) into flat append-only arenas. The resolve pass replays
+// those arenas instead of re-deriving the day — RNG forks, arrival
+// draws and chunk hashing run once — and resolves each chunk's winner
+// through its recorded ref (dedup.ChunkRef.WonBy), a direct entry read
+// with no second map probe and no lock. Past a configurable memory
+// budget a stripe drops its log and regenerates from seeds instead —
+// a pure perf fallback, bit-identical by construction. Catalog files'
+// sizes and chunk addresses are pure functions of class config and
+// rank, precomputed into per-class tables so popular-file references
+// cost no hashing at all.
+//
+// cmd/fleetbench reports the service-side load curves (bytes/s,
+// concurrent connections, dedup ratio vs population size) and takes
+// -cpuprofile/-memprofile for engine work; the benchsnap fleet micro
+// pins users/sec/core, allocated bytes per session, and a store
+// hammer curve over goroutine and shard counts; and
+// scripts/fleetsmoke.sh byte-compares fleetbench reports across
+// worker counts and store shard counts in CI.
 //
 // Determinism contract: every experiment cell derives all randomness
 // from its own index (seed, testbed, RNG — see campaignSeed) and

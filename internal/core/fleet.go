@@ -36,18 +36,25 @@ import (
 // Cross-user dedup under parallelism is the interesting part. Which
 // user pays for a popular chunk depends on who uploads it first in
 // *virtual* time — but stripes execute concurrently in *wall* time, in
-// arbitrary order. The engine therefore runs the day twice through the
-// sharded store:
+// arbitrary order. The engine therefore resolves the day in two
+// passes over the sharded store:
 //
 //   - Claim pass: every session claims its chunks with the session's
-//     (virtual instant, user) pair. The store keeps the earliest claim
-//     per chunk — a pure function of the offered load, whatever the
-//     execution interleaving (dedup.Store.Claim).
-//   - Resolve pass: the day replays (same seeds, same sessions, bit
-//     for bit) and each session asks the store who won each of its
-//     chunks (dedup.Store.Winner): the earliest claimant uploads, every
+//     (virtual instant, user) pair, one batch per (session, shard)
+//     group (dedup.Store.ClaimBatch). The store keeps the earliest
+//     claim per chunk — a pure function of the offered load, whatever
+//     the execution interleaving. While claiming, each stripe records
+//     its session stream into a flat append-only log (fleetlog.go).
+//   - Resolve pass: the day replays from the session log (or, past the
+//     log's memory budget, regenerates from seeds — bit-identical
+//     either way) and each session asks the store who won its chunks
+//     (dedup.Store.WinnerBatch): the earliest claimant uploads, every
 //     other claimant deduplicates — exactly the outcome of a
 //     sequential virtual-time replay, now computed on all cores.
+//
+// The log is what makes the day one generation pass: RNG forks,
+// arrival draws, Zipf ranks and chunk hashing run once, in the claim
+// pass; the resolve pass is a linear arena walk.
 //
 // Per-stripe accumulators are integers and are reduced in stripe
 // order, so a fleet day is bit-identical at any worker count (pinned
@@ -133,11 +140,50 @@ type FleetConfig struct {
 	// the same result. Default 256.
 	Stripes int
 
+	// LogBudget caps the total bytes of session log the engine may
+	// retain across all stripes between the claim and resolve passes
+	// (default DefaultFleetLogBudget). A stripe whose share of the
+	// budget overflows regenerates its sessions from seeds instead of
+	// replaying — a pure perf fallback; the simulated day is identical
+	// either way.
+	LogBudget int64
+
 	// Store is the shared backend; default a fresh dedup.NewStore().
 	// Passing a store lets callers inspect server-side state after
 	// the day (and lets the benchsnap micro swap shard counts).
 	Store *dedup.Store
+
+	// tables holds per-class generation tables precomputed in
+	// withDefaults — catalog sizes and hoisted logarithm constants —
+	// so the generation walk never re-derives a pure function of the
+	// class configuration per file.
+	tables []classTables
 }
+
+// classTables caches the parts of one class's file-mix derivation that
+// are pure functions of the class configuration. Every cached value is
+// computed by exactly the expression genFleetSession's definitional
+// fallback would evaluate per file, so the table changes nothing but
+// the work.
+type classTables struct {
+	catalog []int64 // rank → catalog file size; nil for oversized catalogs
+	zipfLog float64 // math.Log(CatalogSize+1), the zipfRank envelope constant
+	sizeLog float64 // math.Log(MaxFileBytes/MinFileBytes), the log-uniform span
+
+	// The catalog's chunk stream, flattened: rank r's chunks are
+	// chunkHashes/chunkSizes[chunkOff[r]:chunkOff[r+1]]. A popular
+	// file's chunk addresses are the same for every user that syncs
+	// it, so hashing the descriptor tuple per reference (SHA-256 per
+	// chunk per user) is the single biggest avoidable cost of the
+	// generation walk.
+	chunkHashes []dedup.Hash
+	chunkSizes  []int64
+	chunkOff    []int32
+}
+
+// maxCatalogTable caps the per-class catalog size table; a class with
+// a larger catalog derives sizes definitionally instead.
+const maxCatalogTable = 1 << 20
 
 // withDefaults resolves the zero fields.
 func (cfg FleetConfig) withDefaults() FleetConfig {
@@ -162,10 +208,61 @@ func (cfg FleetConfig) withDefaults() FleetConfig {
 	if cfg.Stripes > cfg.Users && cfg.Users > 0 {
 		cfg.Stripes = cfg.Users
 	}
+	if cfg.LogBudget <= 0 {
+		cfg.LogBudget = DefaultFleetLogBudget
+	}
 	if cfg.Store == nil {
-		cfg.Store = dedup.NewStore()
+		cfg.Store = dedup.NewStoreShardedSized(dedup.DefaultShards, FleetChunkHint(cfg.Users, cfg.Day))
+	}
+	cfg.tables = make([]classTables, len(cfg.Classes))
+	for c := range cfg.Classes {
+		cls := &cfg.Classes[c]
+		t := &cfg.tables[c]
+		if cls.CatalogSize > 1 {
+			t.zipfLog = math.Log(float64(cls.CatalogSize) + 1)
+		}
+		if cls.MaxFileBytes > cls.MinFileBytes {
+			t.sizeLog = math.Log(float64(cls.MaxFileBytes) / float64(cls.MinFileBytes))
+		}
+		if cls.CatalogSize <= 0 || cls.CatalogSize > maxCatalogTable {
+			continue
+		}
+		sizes := make([]int64, cls.CatalogSize)
+		t.chunkOff = make([]int32, cls.CatalogSize+1)
+		rng := sim.NewRNG(0)
+		for r := range sizes {
+			// Exactly the definitional derivation genFleetSession
+			// would perform per reference, hoisted to once per rank.
+			seed := catalogSeed(c, r)
+			rng.Reseed(seed)
+			size := logUniformBytes(rng, cls.MinFileBytes, cls.MaxFileBytes)
+			sizes[r] = size
+			for off := int64(0); off < size; off += cls.ChunkBytes {
+				ln := size - off
+				if ln > cls.ChunkBytes {
+					ln = cls.ChunkBytes
+				}
+				t.chunkHashes = append(t.chunkHashes, fleetChunkHash(seed, size, off, ln))
+				t.chunkSizes = append(t.chunkSizes, ln)
+			}
+			t.chunkOff[r+1] = int32(len(t.chunkHashes))
+		}
+		t.catalog = sizes
 	}
 	return cfg
+}
+
+// FleetChunkHint estimates the unique chunks a fleet day offers — the
+// map-capacity hint RunFleet (and drivers building their own backend)
+// hand to dedup.NewStoreShardedSized. The default class mix lands
+// around eight unique chunks per user-day; the hint only pre-sizes
+// allocation, so being off merely costs or saves a few map growths.
+func FleetChunkHint(users int, day time.Duration) int {
+	if day <= 0 {
+		day = workload.ServiceDay
+	}
+	days := float64(day) / float64(workload.ServiceDay)
+	return int(8 * float64(users) * days)
 }
 
 // classStarts returns the first user index of each class under
@@ -234,17 +331,31 @@ func RunFleet(cfg FleetConfig, workers int) FleetResult {
 		nb = 1
 	}
 
-	// Claim pass: record every chunk's earliest (instant, user) pair.
-	RunEach(cfg.Stripes, workers, func(stripe int) {
-		sink := &claimSink{store: cfg.Store}
+	// Claim pass: generate the day once, recording each stripe's
+	// session stream into its log while the store accumulates every
+	// chunk's earliest (instant, user) pair.
+	perStripe := cfg.LogBudget / int64(cfg.Stripes)
+	if perStripe < 1 {
+		perStripe = 1
+	}
+	logs := RunN(cfg.Stripes, workers, func(stripe int) *fleetLog {
+		log := newFleetLog(perStripe)
+		sink := &claimSink{store: cfg.Store, log: log}
 		walkFleetStripe(cfg, starts, stripe, sink)
+		return log
 	})
 
-	// Resolve pass: replay the day, attribute uploads to claim
-	// winners, and fold the service-side load curves per stripe.
+	// Resolve pass: replay the day from the logs (regenerating the
+	// stripes whose logs tripped the budget), attribute uploads to
+	// claim winners, and fold the service-side load curves per stripe.
 	parts := RunN(cfg.Stripes, workers, func(stripe int) *fleetStripeTotals {
 		sink := newResolveSink(cfg, nb)
-		walkFleetStripe(cfg, starts, stripe, sink)
+		if log := logs[stripe]; !log.full {
+			log.replay(sink)
+			logs[stripe] = nil // release the arenas as stripes finish
+		} else {
+			walkFleetStripe(cfg, starts, stripe, sink)
+		}
 		return &sink.tot
 	})
 
@@ -291,22 +402,99 @@ type fleetSink interface {
 	EndSession(files int)
 }
 
-// claimSink is the first pass: claim every chunk at the session's
-// virtual instant. The store resolves concurrent claims to the
-// (instant, user) minimum, so this pass is order-free.
+// chunkBatch buffers one session's chunks and hands them out grouped
+// by store shard, so claim/resolve traffic pays one lock acquisition
+// per (session, shard) group instead of one per chunk. All buffers are
+// reused across sessions; a session allocates nothing once the high-
+// water marks are reached.
+type chunkBatch struct {
+	hashes []dedup.Hash
+	sizes  []int64
+	idxs   []int64 // caller tag per chunk (the claim pass: log arena index)
+	shards []int32 // ShardOf cache; consumed (set to -1) while grouping
+
+	gh []dedup.Hash // current group scratch
+	gs []int64
+	gi []int64
+}
+
+func (b *chunkBatch) reset() {
+	b.hashes, b.sizes = b.hashes[:0], b.sizes[:0]
+	b.idxs, b.shards = b.idxs[:0], b.shards[:0]
+}
+
+func (b *chunkBatch) add(shard int, h dedup.Hash, size, idx int64) {
+	b.hashes = append(b.hashes, h)
+	b.sizes = append(b.sizes, size)
+	b.idxs = append(b.idxs, idx)
+	b.shards = append(b.shards, int32(shard))
+}
+
+// forEachShardGroup calls fn once per distinct shard with that shard's
+// chunks, in order of first appearance. Sessions hold a handful of
+// chunks, so the quadratic gather is cheaper than any map or sort.
+func (b *chunkBatch) forEachShardGroup(fn func(hs []dedup.Hash, sizes, idxs []int64)) {
+	n := len(b.hashes)
+	for i := 0; i < n; i++ {
+		sh := b.shards[i]
+		if sh < 0 {
+			continue
+		}
+		b.gh, b.gs, b.gi = b.gh[:0], b.gs[:0], b.gi[:0]
+		for j := i; j < n; j++ {
+			if b.shards[j] == sh {
+				b.shards[j] = -1
+				b.gh = append(b.gh, b.hashes[j])
+				b.gs = append(b.gs, b.sizes[j])
+				b.gi = append(b.gi, b.idxs[j])
+			}
+		}
+		fn(b.gh, b.gs, b.gi)
+	}
+}
+
+// claimSink is the first pass: record the session stream into the
+// stripe log and claim every chunk at the session's virtual instant,
+// one ClaimBatch per (session, shard) group. The store resolves
+// concurrent claims to the (instant, user) minimum, so this pass is
+// order-free and batching cannot change the outcome.
 type claimSink struct {
 	store *dedup.Store
+	log   *fleetLog
 	user  int64
 	atNs  int64
+	batch chunkBatch
+	refs  []dedup.ChunkRef // ClaimBatchRef output scratch
 }
 
 func (s *claimSink) StartSession(user int64, at time.Duration) {
 	s.user, s.atNs = user, int64(at)
+	s.log.startSession(user, at)
+	s.batch.reset()
 }
 func (s *claimSink) Chunk(h dedup.Hash, size int64) {
-	s.store.Claim(h, size, s.atNs, s.user)
+	s.log.chunk(h, size)
+	// The chunk's log arena index rides along so EndSession can file
+	// the claimed ref back into the log; -1 (an empty log) and stale
+	// indices after a mid-session drop are both guarded by the !full
+	// check at flush time.
+	s.batch.add(s.store.ShardOf(h), h, size, int64(len(s.log.hashes))-1)
 }
-func (s *claimSink) EndSession(files int) {}
+func (s *claimSink) EndSession(files int) {
+	s.log.endSession(files)
+	s.batch.forEachShardGroup(func(hs []dedup.Hash, sizes, idxs []int64) {
+		if cap(s.refs) < len(hs) {
+			s.refs = make([]dedup.ChunkRef, len(hs))
+		}
+		out := s.refs[:len(hs)]
+		s.store.ClaimBatchRef(hs, sizes, s.atNs, s.user, out)
+		if l := s.log; !l.full {
+			for i, r := range out {
+				l.refs[idxs[i]] = r
+			}
+		}
+	})
+}
 
 // fleetStripeTotals is one stripe's integer accumulators.
 type fleetStripeTotals struct {
@@ -326,17 +514,19 @@ type resolveSink struct {
 	user       int64
 	atNs       int64
 	at         time.Duration
-	seen       map[dedup.Hash]struct{} // within-session dedup
-	upload     int64                   // content bytes this session uploads
-	dedup      int64                   // content bytes deduplicated away
+	upload     int64 // content bytes this session uploads
+	dedup      int64 // content bytes deduplicated away
 	chunkCount int
+
+	batch chunkBatch       // session-unique chunks awaiting WinnerBatch (hash path)
+	gout  []bool           // per-group winner verdict scratch
+	seen  []dedup.ChunkRef // session-unique refs already resolved (ref path)
 }
 
 func newResolveSink(cfg FleetConfig, nb int) *resolveSink {
 	return &resolveSink{
-		cfg:  cfg,
-		nb:   nb,
-		seen: make(map[dedup.Hash]struct{}, 64),
+		cfg: cfg,
+		nb:  nb,
 		tot: fleetStripeTotals{
 			bucketSessions: make([]int64, nb),
 			bucketConns:    make([]int64, nb),
@@ -347,20 +537,40 @@ func newResolveSink(cfg FleetConfig, nb int) *resolveSink {
 
 func (s *resolveSink) StartSession(user int64, at time.Duration) {
 	s.user, s.at, s.atNs = user, at, int64(at)
-	clear(s.seen)
 	s.upload, s.dedup, s.chunkCount = 0, 0, 0
+	s.batch.reset()
+	s.seen = s.seen[:0]
 }
 
 func (s *resolveSink) Chunk(h dedup.Hash, size int64) {
 	s.chunkCount++
-	if _, dup := s.seen[h]; dup {
-		// Same chunk twice in one session: the client's manifest
-		// catches it before the server is even asked.
-		s.dedup += size
-		return
+	// Within-session dedup: the client's manifest catches a repeated
+	// chunk before the server is even asked. Sessions hold a handful
+	// of chunks, so a linear scan of the buffered batch beats a map.
+	for i := range s.batch.hashes {
+		if s.batch.hashes[i] == h {
+			s.dedup += size
+			return
+		}
 	}
-	s.seen[h] = struct{}{}
-	if s.cfg.Store.Winner(h, s.atNs, s.user) {
+	s.batch.add(s.cfg.Store.ShardOf(h), h, size, 0)
+}
+
+// ChunkResolved is the replay surface (refSink): the chunk arrives as
+// its claimed store entry, so the winner verdict is a direct entry
+// read — no store probe, no lock. Equal chunks share one store entry,
+// so within-session dedup is a ref compare; the verdicts and integer
+// sums are exactly those of the hash path.
+func (s *resolveSink) ChunkResolved(r dedup.ChunkRef, size int64) {
+	s.chunkCount++
+	for _, prev := range s.seen {
+		if prev == r {
+			s.dedup += size
+			return
+		}
+	}
+	s.seen = append(s.seen, r)
+	if r.WonBy(s.atNs, s.user) {
 		s.upload += size
 	} else {
 		s.dedup += size
@@ -368,6 +578,25 @@ func (s *resolveSink) Chunk(h dedup.Hash, size int64) {
 }
 
 func (s *resolveSink) EndSession(files int) {
+	// Hash path only (regeneration fallback): ask the store who won
+	// the session's unique chunks, one WinnerBatch per shard group.
+	// upload/dedup are plain integer sums, so the group order cannot
+	// change the totals. On the ref path the batch is empty.
+	s.batch.forEachShardGroup(func(hs []dedup.Hash, sizes, _ []int64) {
+		if cap(s.gout) < len(hs) {
+			s.gout = make([]bool, len(hs))
+		}
+		out := s.gout[:len(hs)]
+		s.cfg.Store.WinnerBatch(hs, s.atNs, s.user, out)
+		for i, won := range out {
+			if won {
+				s.upload += sizes[i]
+			} else {
+				s.dedup += sizes[i]
+			}
+		}
+	})
+
 	t := &s.tot
 	t.sessions++
 	t.files += int64(files)
@@ -464,20 +693,26 @@ func walkFleetStripe(cfg FleetConfig, starts []int, stripe int, sink fleetSink) 
 		u := int64(stripe + int(slot)*cfg.Stripes)
 		cls := &cfg.Classes[st.class]
 
+		var tab *classTables
+		if int(st.class) < len(cfg.tables) {
+			tab = &cfg.tables[st.class]
+		}
 		sink.StartSession(u, st.next)
-		files := genFleetSession(cls, int(st.class), st.rng, sink)
+		files := genFleetSession(cls, int(st.class), tab, st.rng, sink)
 		sink.EndSession(files)
 
 		// Next session: a fresh per-(user, session) stream whose
-		// first draws are its arrival instant.
+		// first draws are its arrival instant. The slot's RNG is
+		// reseeded in place — Reseed is bit-identical to a fresh
+		// NewRNG, minus the per-session allocations.
 		st.sess++
-		rng := sim.NewRNG(fleetSeed(cfg.Seed, u, int64(st.sess)))
-		next := cls.Arrival.Next(rng, st.next)
+		st.rng.Reseed(fleetSeed(cfg.Seed, u, int64(st.sess)))
+		next := cls.Arrival.Next(st.rng, st.next)
 		if next >= cfg.Day {
 			st.rng = nil
 			continue
 		}
-		st.rng, st.next = rng, next
+		st.next = next
 		h.push(next, slot)
 	}
 }
@@ -485,9 +720,13 @@ func walkFleetStripe(cfg FleetConfig, starts []int, stripe int, sink fleetSink) 
 // genFleetSession emits one session's chunks: a uniform file count,
 // each file either private (fresh seed from the session stream) or a
 // catalog file picked with Zipf-like popularity. Returns the file
-// count. Both fleet passes call exactly this code with identical RNG
-// state, which is what makes the replay bit-exact.
-func genFleetSession(cls *FleetClass, classIdx int, rng *sim.RNG, sink fleetSink) int {
+// count. tab is the class's precomputed generation table (nil falls
+// back to the definitional derivations — same values, more work). The
+// claim pass is the only generation pass — the resolve pass replays
+// the recorded session log — but a log-budget fallback regenerates
+// through exactly this code with identical RNG state, which is what
+// keeps the fallback bit-exact.
+func genFleetSession(cls *FleetClass, classIdx int, tab *classTables, rng *sim.RNG, sink fleetSink) int {
 	files := cls.MinFiles
 	if cls.MaxFiles > cls.MinFiles {
 		files += rng.Intn(cls.MaxFiles - cls.MinFiles + 1)
@@ -495,14 +734,31 @@ func genFleetSession(cls *FleetClass, classIdx int, rng *sim.RNG, sink fleetSink
 	for i := 0; i < files; i++ {
 		var seed, size int64
 		if rng.Float64() < cls.SharedFraction {
-			rank := zipfRank(rng.Float64(), cls.CatalogSize)
+			var rank int
+			if tab != nil {
+				rank = zipfRankLog(rng.Float64(), cls.CatalogSize, tab.zipfLog)
+			} else {
+				rank = zipfRank(rng.Float64(), cls.CatalogSize)
+			}
+			// A catalog file is the same content for every user: its
+			// size, chunk addresses and chunk sizes are pure functions
+			// of its rank, so the table emits the recorded chunk
+			// stream directly — no hashing per reference.
+			if tab != nil && rank < len(tab.catalog) {
+				for j := tab.chunkOff[rank]; j < tab.chunkOff[rank+1]; j++ {
+					sink.Chunk(tab.chunkHashes[j], tab.chunkSizes[j])
+				}
+				continue
+			}
 			seed = catalogSeed(classIdx, rank)
-			// A catalog file's size is a pure function of its seed:
-			// every user sees the same popular file.
 			size = logUniformBytes(sim.NewRNG(seed), cls.MinFileBytes, cls.MaxFileBytes)
 		} else {
 			seed = rng.Int63()
-			size = logUniformBytes(rng, cls.MinFileBytes, cls.MaxFileBytes)
+			if tab != nil {
+				size = logUniformBytesLog(rng, cls.MinFileBytes, cls.MaxFileBytes, tab.sizeLog)
+			} else {
+				size = logUniformBytes(rng, cls.MinFileBytes, cls.MaxFileBytes)
+			}
 		}
 		for off := int64(0); off < size; off += cls.ChunkBytes {
 			ln := size - off
@@ -563,7 +819,16 @@ func zipfRank(u float64, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	r := int(math.Exp(u*math.Log(float64(n)+1))) - 1
+	return zipfRankLog(u, n, math.Log(float64(n)+1))
+}
+
+// zipfRankLog is zipfRank with the envelope constant Log(n+1) hoisted
+// by the caller (classTables.zipfLog); bit-identical to zipfRank.
+func zipfRankLog(u float64, n int, logN float64) int {
+	if n <= 1 {
+		return 0
+	}
+	r := int(math.Exp(u*logN)) - 1
 	if r < 0 {
 		r = 0
 	}
@@ -578,7 +843,17 @@ func logUniformBytes(rng *sim.RNG, lo, hi int64) int64 {
 	if hi <= lo {
 		return lo
 	}
-	v := int64(float64(lo) * math.Exp(rng.Float64()*math.Log(float64(hi)/float64(lo))))
+	return logUniformBytesLog(rng, lo, hi, math.Log(float64(hi)/float64(lo)))
+}
+
+// logUniformBytesLog is logUniformBytes with the span constant
+// Log(hi/lo) hoisted by the caller (classTables.sizeLog);
+// bit-identical to logUniformBytes.
+func logUniformBytesLog(rng *sim.RNG, lo, hi int64, logRatio float64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	v := int64(float64(lo) * math.Exp(rng.Float64()*logRatio))
 	if v < lo {
 		v = lo
 	}
@@ -664,24 +939,26 @@ type FleetPopulationPoint struct {
 // FleetPopulationSweep runs the same fleet day at several population
 // sizes (each against a fresh backend) and reports how cross-user
 // dedup scales with population — the fleet-level form of the paper's
-// Sect. 4.3 observation. The sweep shares one worker budget.
+// Sect. 4.3 observation. The points fan out over the shared RunN
+// budget — each owns a fresh backend, so they are independent cells —
+// and land in population order; a fleet day is itself bit-identical at
+// any worker count, so the sweep is too (pinned by
+// TestFleetPopulationSweepWorkerEquivalence).
 func FleetPopulationSweep(cfg FleetConfig, populations []int, workers int) []FleetPopulationPoint {
-	out := make([]FleetPopulationPoint, len(populations))
-	for i, n := range populations {
+	return RunN(len(populations), workers, func(i int) FleetPopulationPoint {
 		c := cfg
-		c.Users = n
+		c.Users = populations[i]
 		c.Store = nil // fresh backend per population
 		r := RunFleet(c, workers)
-		out[i] = FleetPopulationPoint{
-			Users:        n,
+		return FleetPopulationPoint{
+			Users:        populations[i],
 			DedupRatio:   r.DedupRatio,
 			ContentBytes: r.ContentBytes,
 			WireBytes:    r.WireBytes,
 			UniqueChunks: r.UniqueChunks,
 			StoredBytes:  r.StoredBytes,
 		}
-	}
-	return out
+	})
 }
 
 // String summarises a fleet day for driver output.

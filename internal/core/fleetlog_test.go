@@ -1,0 +1,141 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/dedup"
+)
+
+// TestFleetLogReplayMatchesGeneration pins the log's core promise: the
+// claim pass's recorded stream, replayed, drives a sink through
+// exactly the StartSession/Chunk/EndSession sequence a second
+// generation walk would produce — same sessions, same order, same
+// (hash, size) runs, same file counts.
+func TestFleetLogReplayMatchesGeneration(t *testing.T) {
+	cfg := smallFleet(600).withDefaults()
+	starts := classStarts(cfg.Classes, cfg.Users)
+	for stripe := 0; stripe < 8; stripe++ {
+		log := newFleetLog(0)
+		walkFleetStripe(cfg, starts, stripe, &claimSink{store: cfg.Store, log: log})
+		if log.full {
+			t.Fatalf("stripe %d: default budget overflowed on a 600-user day", stripe)
+		}
+
+		want := &recordSink{}
+		walkFleetStripe(cfg, starts, stripe, want)
+		got := &recordSink{}
+		log.replay(got)
+		if !reflect.DeepEqual(want.sessions, got.sessions) {
+			t.Fatalf("stripe %d: replay diverged from generation (%d vs %d sessions)",
+				stripe, len(got.sessions), len(want.sessions))
+		}
+	}
+}
+
+// TestFleetLogForcedFallback starves the log budget so every stripe
+// drops its log and the resolve pass regenerates from seeds. The
+// fallback is pure mechanism: the fleet day must be bit-identical to
+// the replayed run, at several worker counts.
+func TestFleetLogForcedFallback(t *testing.T) {
+	base := RunFleet(smallFleet(1500), 1)
+
+	// A one-byte budget cannot hold a session header: every stripe
+	// trips on its first startSession.
+	starved := smallFleet(1500)
+	starved.LogBudget = 1
+	log := newFleetLog(1)
+	log.startSession(0, 0)
+	if !log.full {
+		t.Fatal("one-byte budget did not trip the log")
+	}
+
+	for _, workers := range []int{1, 4} {
+		cfg := starved
+		if got := RunFleet(cfg, workers); !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d: regeneration fallback diverged:\n  replay: %v\n  regen:  %v",
+				workers, base, got)
+		}
+	}
+}
+
+// TestFleetLogBudgetDrop exercises the budget bookkeeping directly: a
+// log sized for a few chunks drops mid-stream, releases its arenas,
+// and ignores everything after.
+func TestFleetLogBudgetDrop(t *testing.T) {
+	budget := logBytesPerSession + 3*logBytesPerChunk
+	log := newFleetLog(budget)
+	log.startSession(7, 0)
+	var h dedup.Hash
+	for i := 0; i < 3; i++ {
+		h[0] = byte(i)
+		log.chunk(h, 100)
+	}
+	if log.full {
+		t.Fatal("log tripped within budget")
+	}
+	log.chunk(h, 100) // one over
+	if !log.full {
+		t.Fatal("log did not trip past budget")
+	}
+	if log.hashes != nil || log.users != nil || log.refs != nil {
+		t.Fatal("drop retained arena memory")
+	}
+	log.chunk(h, 100) // must not panic or resurrect
+	log.endSession(1)
+	rec := &recordSink{}
+	log.replay(rec)
+	if len(rec.sessions) != 0 {
+		t.Fatalf("replay of a dropped log produced %d sessions", len(rec.sessions))
+	}
+}
+
+// TestFleetPopulationSweepWorkerEquivalence pins the sweep contract:
+// points land in population order and are bit-identical whatever the
+// worker count, both across the sweep fan-out and inside each day.
+func TestFleetPopulationSweepWorkerEquivalence(t *testing.T) {
+	pops := []int{300, 900, 1800}
+	base := FleetPopulationSweep(smallFleet(0), pops, 1)
+	if len(base) != len(pops) {
+		t.Fatalf("sweep returned %d points for %d populations", len(base), len(pops))
+	}
+	for i, p := range base {
+		if p.Users != pops[i] {
+			t.Fatalf("point %d: users %d, want %d (population order)", i, p.Users, pops[i])
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		got := FleetPopulationSweep(smallFleet(0), pops, workers)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d sweep diverged:\n  seq: %+v\n  got: %+v", workers, base, got)
+		}
+	}
+}
+
+// TestFleetSessionAllocationCeiling is the allocation regression gate
+// on the fleet hot path: total bytes allocated per simulated session —
+// including the store, the logs and the one-time class tables — must
+// stay under a fixed ceiling. The one-pass engine lands around 1.1 KB
+// per session on a 3k-user day; the ceiling leaves headroom for noise
+// but catches an accidental per-session or per-chunk allocation (a
+// reverted RNG reuse, an unbatched claim path) immediately.
+func TestFleetSessionAllocationCeiling(t *testing.T) {
+	const maxBytesPerSession = 4096
+
+	cfg := smallFleet(3000)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	r := RunFleet(cfg, 1)
+	runtime.ReadMemStats(&after)
+
+	if r.Sessions == 0 {
+		t.Fatal("degenerate day: no sessions")
+	}
+	perSession := float64(after.TotalAlloc-before.TotalAlloc) / float64(r.Sessions)
+	t.Logf("%.0f B allocated per session over %d sessions", perSession, r.Sessions)
+	if perSession > maxBytesPerSession {
+		t.Fatalf("fleet hot path allocates %.0f B/session, ceiling %d", perSession, maxBytesPerSession)
+	}
+}

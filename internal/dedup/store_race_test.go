@@ -42,7 +42,23 @@ func TestStoreConcurrentStress(t *testing.T) {
 						// interleaving.
 						s.Claim(h, 100, int64(w*opsPerWorker+i), int64(w))
 					case 3:
-						s.Winner(h, 0, 0)
+						// Batched claim/winner traffic: a single-chunk
+						// batch is the degenerate shard group, so it
+						// contends with the unbatched ops above on the
+						// same hashes. The claim instants sit above
+						// every case-2 instant, so they never displace
+						// the minimum the final assertions predict.
+						hb := [1]Hash{h}
+						sb := [1]int64{100}
+						at := int64((workers+w)*opsPerWorker + i)
+						s.ClaimBatch(hb[:], sb[:], at, int64(w))
+						var refs [1]ChunkRef
+						s.ClaimBatchRef(hb[:], sb[:], at+1, int64(w), refs[:])
+						var out [1]bool
+						s.WinnerBatch(hb[:], 0, 0, out[:])
+						// refs[0].WonBy is deliberately NOT read here:
+						// it is a lock-free resolve-phase read, legal
+						// only after claim traffic has quiesced.
 						s.Size(h)
 					case 4:
 						// Aggregated counter reads overlapping writers.
@@ -66,9 +82,10 @@ func TestStoreConcurrentStress(t *testing.T) {
 		if s.Puts() != int64(wantUnique) {
 			t.Fatalf("shards=%d: Puts = %d, want %d", shards, s.Puts(), wantUnique)
 		}
-		// Every (PutHashed|Claim) call either stored or hit; the
-		// stress loop issues exactly 3 store-ops per 5 iterations.
-		wantOps := int64(workers * opsPerWorker / 5 * 3)
+		// Every (PutHashed|Claim|ClaimBatch) call either stored or
+		// hit; the stress loop issues exactly 5 store-ops per 5
+		// iterations (cases 0, 1, 2 one each; case 3 two).
+		wantOps := int64(workers * opsPerWorker)
 		if got := s.Puts() + s.Hits(); got != wantOps {
 			t.Fatalf("shards=%d: Puts+Hits = %d, want %d", shards, got, wantOps)
 		}

@@ -107,6 +107,13 @@ func TestNewStoreShardedRounding(t *testing.T) {
 	}
 }
 
+// claim is the (instant, user) pair of one would-be uploader, as the
+// tests spell it; the store keeps the pair inline in its chunk entry.
+type claim struct {
+	at   int64
+	user int64
+}
+
 func TestClaimEarliestWins(t *testing.T) {
 	h := HashBytes([]byte("popular chunk"))
 	// Claims arrive in scrambled execution order; the (at, user)
@@ -155,6 +162,153 @@ func TestWinnerOnUnclaimedHash(t *testing.T) {
 	s.PutHashed(h, 5) // plain put, no claim
 	if s.Winner(h, 0, 0) {
 		t.Fatal("Winner on a put-only chunk")
+	}
+}
+
+// shardGroups splits hashes (with parallel sizes) into per-shard
+// groups the way the fleet's batching sinks do, preserving
+// first-appearance order within each group.
+func shardGroups(s *Store, hs []Hash, sizes []int64) (groups [][]Hash, groupSizes [][]int64) {
+	byShard := make(map[int]int)
+	for i, h := range hs {
+		sh := s.ShardOf(h)
+		gi, ok := byShard[sh]
+		if !ok {
+			gi = len(groups)
+			byShard[sh] = gi
+			groups = append(groups, nil)
+			groupSizes = append(groupSizes, nil)
+		}
+		groups[gi] = append(groups[gi], h)
+		groupSizes[gi] = append(groupSizes[gi], sizes[i])
+	}
+	return groups, groupSizes
+}
+
+func TestClaimBatchMatchesPerChunkClaims(t *testing.T) {
+	// ClaimBatch/WinnerBatch promise exact equivalence with the
+	// per-chunk calls: same winners, same counters. Drive the same
+	// claim schedule — several users, overlapping chunk sets — through
+	// both surfaces and compare everything observable.
+	hs := randomHashes(11, 200)
+	rng := sim.NewRNG(13)
+	type session struct {
+		at, user int64
+		hs       []Hash
+		sizes    []int64
+	}
+	var sessions []session
+	for u := int64(0); u < 40; u++ {
+		sess := session{at: int64(rng.Intn(1000)), user: u}
+		for k := 0; k < 10; k++ {
+			sess.hs = append(sess.hs, hs[rng.Intn(len(hs))])
+			sess.sizes = append(sess.sizes, int64(rng.Intn(500))+1)
+		}
+		sessions = append(sessions, sess)
+	}
+
+	ref, batched := NewStoreSharded(8), NewStoreSharded(8)
+	for _, sess := range sessions {
+		for i, h := range sess.hs {
+			ref.Claim(h, sess.sizes[i], sess.at, sess.user)
+		}
+		groups, groupSizes := shardGroups(batched, sess.hs, sess.sizes)
+		for g := range groups {
+			batched.ClaimBatch(groups[g], groupSizes[g], sess.at, sess.user)
+		}
+	}
+
+	if ref.UniqueChunks() != batched.UniqueChunks() || ref.StoredBytes() != batched.StoredBytes() ||
+		ref.Hits() != batched.Hits() || ref.Puts() != batched.Puts() {
+		t.Fatalf("counters diverged: chunks %d/%d bytes %d/%d hits %d/%d puts %d/%d",
+			ref.UniqueChunks(), batched.UniqueChunks(), ref.StoredBytes(), batched.StoredBytes(),
+			ref.Hits(), batched.Hits(), ref.Puts(), batched.Puts())
+	}
+	for _, sess := range sessions {
+		groups, _ := shardGroups(batched, sess.hs, nil2(len(sess.hs)))
+		for _, g := range groups {
+			out := make([]bool, len(g))
+			batched.WinnerBatch(g, sess.at, sess.user, out)
+			for i, h := range g {
+				if want := ref.Winner(h, sess.at, sess.user); out[i] != want {
+					t.Fatalf("user %d chunk %v: WinnerBatch=%v, Winner=%v", sess.user, h, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// nil2 returns n zero sizes — shardGroups needs a parallel slice even
+// when the caller only cares about the hash grouping.
+func nil2(n int) []int64 { return make([]int64, n) }
+
+func TestClaimBatchRefResolvesLikeWinner(t *testing.T) {
+	// A ref handed out by ClaimBatchRef must resolve (via WonBy)
+	// exactly as a Winner probe for the same hash, including after
+	// later claims displace the provisional winner.
+	s := NewStoreSharded(4)
+	hs := randomHashes(21, 64)
+	sizes := nil2(len(hs))
+	for i := range sizes {
+		sizes[i] = int64(i) + 1
+	}
+
+	type claimed struct {
+		at, user int64
+		hs       []Hash
+		refs     []ChunkRef
+	}
+	var all []claimed
+	for u := int64(0); u < 8; u++ {
+		// Later users claim earlier instants, so winners keep moving.
+		at := int64(100 - u*10)
+		c := claimed{at: at, user: u}
+		groups, groupSizes := shardGroups(s, hs[:32+u*4], sizes[:32+u*4])
+		for g := range groups {
+			refs := make([]ChunkRef, len(groups[g]))
+			s.ClaimBatchRef(groups[g], groupSizes[g], at, u, refs)
+			c.hs = append(c.hs, groups[g]...)
+			c.refs = append(c.refs, refs...)
+		}
+		all = append(all, c)
+	}
+	for _, c := range all {
+		for i, h := range c.hs {
+			if got, want := c.refs[i].WonBy(c.at, c.user), s.Winner(h, c.at, c.user); got != want {
+				t.Fatalf("user %d chunk %v: WonBy=%v, Winner=%v", c.user, h, got, want)
+			}
+		}
+	}
+	if (ChunkRef{}).WonBy(0, 0) {
+		t.Fatal("zero ChunkRef reported a win")
+	}
+}
+
+func TestNewStoreShardedSizedBehavesLikeUnsized(t *testing.T) {
+	// The capacity hint is allocation-only: any hint (absurd ones
+	// included) must leave behaviour untouched.
+	hs := randomHashes(31, 400)
+	ref := NewStoreSharded(16)
+	for i, h := range hs {
+		ref.PutHashed(h, int64(i)+1)
+	}
+	for _, hint := range []int{-5, 0, 10, 100_000} {
+		s := NewStoreShardedSized(16, hint)
+		if s.Shards() != ref.Shards() {
+			t.Fatalf("hint %d changed shard count: %d", hint, s.Shards())
+		}
+		for i, h := range hs {
+			s.PutHashed(h, int64(i)+1)
+		}
+		for _, h := range hs {
+			if s.Has(h) != ref.Has(h) || s.Size(h) != ref.Size(h) {
+				t.Fatalf("hint %d diverged on Has/Size", hint)
+			}
+		}
+		if s.UniqueChunks() != ref.UniqueChunks() || s.StoredBytes() != ref.StoredBytes() {
+			t.Fatalf("hint %d: chunks %d/%d bytes %d/%d", hint,
+				s.UniqueChunks(), ref.UniqueChunks(), s.StoredBytes(), ref.StoredBytes())
+		}
 	}
 }
 

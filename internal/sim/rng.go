@@ -70,6 +70,25 @@ func (r *RNG) Antithetic() bool { return r.pcg != nil && r.pcg.mask != 0 }
 // engine rather than the default PCG engine.
 func (r *RNG) Legacy() bool { return r.pcg == nil }
 
+// Reseed resets the source in place to the exact state a fresh source
+// for seed would start in, without allocating — the hot-loop form of
+// NewRNG for callers that burn one short-lived stream per simulated
+// event (the fleet engine reseeds one RNG per user slot instead of
+// allocating per session). On the PCG engine the reseeded stream is
+// bit-identical to NewRNG(seed)'s; an antithetic source stays
+// antithetic, mirroring Fork. The legacy engine re-runs math/rand's
+// source initialisation, matching NewLegacyRNG(seed).
+func (r *RNG) Reseed(seed int64) {
+	r.seed = seed
+	if r.pcg == nil {
+		r.Rand.Seed(seed)
+		return
+	}
+	s0 := splitmix64(uint64(seed))
+	r.pcg.state = s0
+	r.pcg.inc = splitmix64(s0) | 1
+}
+
 // ForkSeed returns the seed a Fork(label) child would be created with:
 // a SplitMix64-style hash of (parent seed, label), so children do not
 // overlap with the parent stream. Exposed so content descriptors can

@@ -42,6 +42,45 @@ func TestEnginesShareForkDerivation(t *testing.T) {
 	}
 }
 
+// TestReseedMatchesFreshSource pins Reseed's contract: a reseeded
+// source continues with exactly the stream a fresh source for that
+// seed would produce, on every engine, whatever state the source was
+// in before.
+func TestReseedMatchesFreshSource(t *testing.T) {
+	check := func(name string, reseeded, fresh *RNG) {
+		t.Helper()
+		if reseeded.Seed() != fresh.Seed() {
+			t.Fatalf("%s: Seed() = %d, want %d", name, reseeded.Seed(), fresh.Seed())
+		}
+		for i := 0; i < 100; i++ {
+			if reseeded.Int63() != fresh.Int63() {
+				t.Fatalf("%s: reseeded stream diverged at draw %d", name, i)
+			}
+		}
+		if !bytes.Equal(reseeded.Bytes(100), fresh.Bytes(100)) {
+			t.Fatalf("%s: reseeded Bytes diverged", name)
+		}
+	}
+
+	pcg := NewRNG(3)
+	pcg.Int63() // advance so Reseed must really reset state
+	pcg.Reseed(99)
+	check("pcg", pcg, NewRNG(99))
+
+	anti := NewAntitheticRNG(3)
+	anti.Int63()
+	anti.Reseed(99)
+	if !anti.Antithetic() {
+		t.Fatal("Reseed dropped the antithetic mask")
+	}
+	check("antithetic", anti, NewAntitheticRNG(99))
+
+	leg := NewLegacyRNG(3)
+	leg.Int63()
+	leg.Reseed(99)
+	check("legacy", leg, NewLegacyRNG(99))
+}
+
 // TestForkInheritsEngine pins that children stay on their parent's
 // engine — a campaign never silently mixes byte streams.
 func TestForkInheritsEngine(t *testing.T) {

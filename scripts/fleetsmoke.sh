@@ -4,10 +4,13 @@
 #
 # The fleet engine promises that its JSON report contains simulated
 # quantities only and that those are a pure function of the flags —
-# never of -parallel. The smoke runs a small population (with a short
-# sweep) at -parallel 1 and -parallel 8 and byte-compares the two
-# reports; any diff is a determinism regression in the fleet layer or
-# the sharded store's claim/resolve protocol.
+# never of -parallel, and never of the backend's -shards lock layout.
+# The smoke runs a small population (with a short sweep) at -parallel 1
+# and -parallel 8 and byte-compares the two reports, then runs the same
+# day at -shards 1 and -shards 64 and compares again (dropping only the
+# "shards" line, which echoes the flag itself); any diff is a
+# determinism regression in the fleet layer or the sharded store's
+# claim/resolve protocol.
 #
 # Usage: scripts/fleetsmoke.sh [users]
 set -euo pipefail
@@ -16,7 +19,9 @@ cd "$(dirname "$0")/.."
 users="${1:-2000}"
 a="$(mktemp -t fleet_p1.XXXXXX.json)"
 b="$(mktemp -t fleet_p8.XXXXXX.json)"
-trap 'rm -f "${a}" "${b}"' EXIT
+c="$(mktemp -t fleet_s1.XXXXXX.json)"
+d="$(mktemp -t fleet_s64.XXXXXX.json)"
+trap 'rm -f "${a}" "${b}" "${c}" "${d}"' EXIT
 
 go run ./cmd/fleetbench -users "${users}" -populations 500,"${users}" \
   -parallel 1 -out "${a}"
@@ -29,3 +34,13 @@ if ! cmp -s "${a}" "${b}"; then
   exit 1
 fi
 echo "fleetsmoke: ${users}-user day bit-identical across worker counts"
+
+go run ./cmd/fleetbench -users "${users}" -shards 1 -out "${c}"
+go run ./cmd/fleetbench -users "${users}" -shards 64 -out "${d}"
+
+if ! cmp -s <(grep -v '"shards"' "${c}") <(grep -v '"shards"' "${d}"); then
+  echo "fleetsmoke: fleet day differs between -shards 1 and -shards 64" >&2
+  diff "${c}" "${d}" | head -40 >&2 || true
+  exit 1
+fi
+echo "fleetsmoke: ${users}-user day bit-identical across store shard counts"
